@@ -1,0 +1,281 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation, plus
+// ablations for the design choices DESIGN.md calls out. Each benchmark
+// regenerates its experiment end to end in virtual time and reports the
+// headline quantities via b.ReportMetric, so `go test -bench=.` doubles
+// as the reproduction harness:
+//
+//	BenchmarkFig4Microbenchmarks   — §3.3 stacks, normalized ratios
+//	BenchmarkFig4SoftwareOnly      — software-only function group
+//	BenchmarkFig4Accelerated       — hardware-accelerated group
+//	BenchmarkFig5REMSweep          — REM throughput/p99 vs offered rate
+//	BenchmarkFig6PowerEfficiency   — power + energy-efficiency columns
+//	BenchmarkFig7TraceGeneration   — hyperscaler trace synthesis
+//	BenchmarkTable4TraceReplay     — REM on the trace, host vs SNIC
+//	BenchmarkTable5TCO             — the 5-year TCO arithmetic
+//	BenchmarkStrategyLoadBalancer  — §5.3 Strategy 3 ablation
+//	BenchmarkAblation*             — batching, staging, governor choices
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/tco"
+	"repro/internal/trace"
+	"repro/snic"
+)
+
+// fig4Subset runs the Fig. 4 pipeline over a category's entries.
+func fig4Subset(b *testing.B, cat core.Category, maxEntries int) {
+	b.Helper()
+	var subset []*core.Config
+	for _, cfg := range core.Catalog() {
+		if cfg.Category == cat {
+			subset = append(subset, cfg)
+		}
+		if len(subset) == maxEntries {
+			break
+		}
+	}
+	tb := snic.NewTestbed()
+	var rows []core.Fig4Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = tb.Fig4For(subset)
+	}
+	b.StopTimer()
+	var sumT, sumP float64
+	for _, r := range rows {
+		sumT += r.TputRatio
+		sumP += r.P99Ratio
+	}
+	if n := float64(len(rows)); n > 0 {
+		b.ReportMetric(sumT/n, "meanTputRatio")
+		b.ReportMetric(sumP/n, "meanP99Ratio")
+	}
+}
+
+func BenchmarkFig4Microbenchmarks(b *testing.B) {
+	fig4Subset(b, core.CategoryMicro, 8)
+}
+
+func BenchmarkFig4SoftwareOnly(b *testing.B) {
+	fig4Subset(b, core.CategorySoftware, 16)
+}
+
+func BenchmarkFig4Accelerated(b *testing.B) {
+	fig4Subset(b, core.CategoryAccelerated, 16)
+}
+
+func BenchmarkFig5REMSweep(b *testing.B) {
+	tb := snic.NewTestbed()
+	rates := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90}
+	var points []core.Fig5Point
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		points = tb.Fig5(rates)
+	}
+	b.StopTimer()
+	// Report the accelerator's cap and the host exe peak (the figure's
+	// two headline values).
+	var accelMax, exeMax float64
+	for _, p := range points {
+		if v := p.Curves["accel"].TputGbps; v > accelMax {
+			accelMax = v
+		}
+		if v := p.Curves["host/file_executable"].TputGbps; v > exeMax {
+			exeMax = v
+		}
+	}
+	b.ReportMetric(accelMax, "accelCapGbps")
+	b.ReportMetric(exeMax, "hostExeMaxGbps")
+}
+
+func BenchmarkFig6PowerEfficiency(b *testing.B) {
+	// Fig. 6 derives from the same runs as Fig. 4; benchmark the power
+	// extremes the paper quotes: compression (3.4–3.8×) and a kernel
+	// stack loser.
+	cmp, _ := core.Lookup("compress", "app")
+	udp, _ := core.Lookup("udp-echo", "64B")
+	tb := snic.NewTestbed()
+	var rows []core.Fig4Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = tb.Fig4For([]*core.Config{cmp, udp})
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		if r.Config.Function == "compress" {
+			b.ReportMetric(r.EffRatio, "compressEffRatio")
+		} else {
+			b.ReportMetric(r.EffRatio, "udpEffRatio")
+		}
+	}
+}
+
+func BenchmarkFig7TraceGeneration(b *testing.B) {
+	var tr *trace.HyperscalerTrace
+	for i := 0; i < b.N; i++ {
+		tr = trace.NewHyperscalerTrace(trace.DefaultHyperscalerConfig())
+	}
+	b.ReportMetric(tr.MeanGbps(), "meanGbps")
+	b.ReportMetric(tr.PeakGbps(), "peakGbps")
+}
+
+func BenchmarkTable4TraceReplay(b *testing.B) {
+	r := core.NewRunner()
+	var rows []core.TraceReplayResult
+	for i := 0; i < b.N; i++ {
+		rows = r.Table4(core.DefaultTable4Config())
+	}
+	b.StopTimer()
+	for _, row := range rows {
+		switch row.Platform {
+		case core.HostCPU:
+			b.ReportMetric(row.P99.Micros(), "hostP99us")
+			b.ReportMetric(row.AvgPowerW, "hostPowerW")
+		case core.SNICAccel:
+			b.ReportMetric(row.P99.Micros(), "snicP99us")
+			b.ReportMetric(row.AvgPowerW, "snicPowerW")
+		}
+	}
+}
+
+func BenchmarkTable5TCO(b *testing.B) {
+	var rows []tco.Row
+	for i := 0; i < b.N; i++ {
+		rows = tco.PaperTable5()
+	}
+	b.StopTimer()
+	for _, r := range rows {
+		if r.Application == "Compress" {
+			b.ReportMetric(r.SavingsFrac*100, "compressSavingsPct")
+		}
+	}
+}
+
+func BenchmarkStrategyLoadBalancer(b *testing.B) {
+	r := core.NewRunner()
+	tr := core.BurstyTrace(5, 72, 30, 6, 2*sim.Millisecond)
+	var sw, hw core.BalancedResult
+	for i := 0; i < b.N; i++ {
+		sw = r.RunBalanced(core.DefaultLoadBalancer(), tr, 8, 1)
+		hw = r.RunBalanced(core.HWLoadBalancer(), tr, 8, 1)
+	}
+	b.StopTimer()
+	b.ReportMetric(sw.P99.Micros(), "softwareP99us")
+	b.ReportMetric(hw.P99.Micros(), "hardwareP99us")
+}
+
+// ---- Ablations ----
+
+// BenchmarkAblationAcceleratorBatching quantifies the batch-size choice:
+// deeper client pipelines raise engine goodput but multiply latency —
+// the throughput/latency trade behind the accelerators' p99.
+func BenchmarkAblationAcceleratorBatching(b *testing.B) {
+	base, _ := core.Lookup("compress", "app")
+	r := core.NewRunner()
+	for _, depth := range []int{1, 8, 48} {
+		cfg := *base
+		cfg.ClosedSNIC = depth
+		var m core.Measurement
+		b.Run(benchName("depth", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultRunOpts()
+				opts.Requests = 4000
+				m = r.Run(&cfg, core.SNICAccel, opts)
+			}
+			b.StopTimer()
+			b.ReportMetric(m.TputGbps, "Gbps")
+			b.ReportMetric(m.Latency.P99.Micros(), "p99us")
+		})
+	}
+}
+
+// BenchmarkAblationStagingCores shows why the paper dedicates exactly two
+// SNIC cores to feeding the REM engine: one core starves it.
+func BenchmarkAblationStagingCores(b *testing.B) {
+	base, _ := core.Lookup("rem", "file_executable")
+	for _, cores := range []int{1, 2, 4} {
+		r := core.NewRunner()
+		r.TBConfig.StagingCores = cores
+		cfg := *base
+		cfg.Mixed = false
+		cfg.ReqSize = 1500
+		var m core.Measurement
+		b.Run(benchName("staging", cores), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := core.DefaultRunOpts()
+				opts.Requests = 8000
+				opts.OfferedGbps = 60
+				m = r.Run(&cfg, core.SNICAccel, opts)
+			}
+			b.StopTimer()
+			b.ReportMetric(m.TputGbps, "Gbps")
+		})
+	}
+}
+
+// BenchmarkAblationKneeCriterion contrasts the two notions of "maximum
+// throughput": raw delivered rate versus the Fig. 5 "reasonable p99"
+// knee, on the rule set where they diverge most.
+func BenchmarkAblationKneeCriterion(b *testing.B) {
+	base, _ := core.Lookup("rem", "file_image")
+	r := core.NewRunner()
+	for _, tc := range []struct {
+		name string
+		knee float64
+	}{
+		{"deliveredOnly", 1e9},
+		{"reasonableP99", 3},
+	} {
+		cfg := *base
+		cfg.KneeP99Mult = tc.knee
+		var m core.Measurement
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				m = r.MaxThroughput(&cfg, core.HostCPU)
+			}
+			b.StopTimer()
+			b.ReportMetric(m.TputGbps, "Gbps")
+			b.ReportMetric(m.Latency.P99.Micros(), "p99us")
+		})
+	}
+}
+
+// BenchmarkEngineCore measures the raw simulation engine: events/second
+// of a saturated M/M/8 queue — the substrate every experiment rides on.
+func BenchmarkEngineCore(b *testing.B) {
+	eng := sim.NewEngine()
+	st := sim.NewStation(eng, 8)
+	rng := sim.NewRNG(1)
+	n := 0
+	var feed func()
+	feed = func() {
+		n++
+		st.Submit(&sim.Job{Service: rng.Exp(1000)})
+		if n < b.N {
+			eng.After(rng.Exp(125), feed)
+		}
+	}
+	b.ResetTimer()
+	eng.At(0, feed)
+	eng.Run()
+}
+
+func benchName(prefix string, v int) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return prefix + "=0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = digits[v%10]
+		v /= 10
+	}
+	return prefix + "=" + string(buf[i:])
+}

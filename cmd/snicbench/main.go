@@ -1,0 +1,248 @@
+// Command snicbench regenerates the paper's tables and figures from the
+// simulated testbed.
+//
+// Usage:
+//
+//	snicbench -exp fig4              # normalized tput/p99, all functions
+//	snicbench -exp fig4 -func redis  # one function only
+//	snicbench -exp fig5              # REM rate sweep
+//	snicbench -exp fig6              # power + energy efficiency
+//	snicbench -exp fig7              # hyperscaler trace
+//	snicbench -exp table4            # trace replay comparison
+//	snicbench -exp table5            # 5-year TCO (paper + measured inputs)
+//	snicbench -exp strategies        # §5.3 advisor + load balancer
+//	snicbench -exp specs             # Tables 1 & 2 hardware specs
+//	snicbench -exp catalog           # Table 3 benchmark matrix
+//	snicbench -exp functional        # verify the real implementations
+//	snicbench -exp all               # everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/mem"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/tco"
+	"repro/snic"
+)
+
+func main() {
+	exp := flag.String("exp", "fig4", "experiment: fig4, fig5, fig6, fig7, table4, table5, strategies, specs, catalog, functional, all")
+	fn := flag.String("func", "", "restrict fig4/fig6 to one function (e.g. redis)")
+	flag.Parse()
+
+	switch *exp {
+	case "fig4":
+		runFig4(*fn, false)
+	case "fig6":
+		runFig4(*fn, true)
+	case "fig5":
+		runFig5()
+	case "fig7":
+		snic.RenderFig7(os.Stdout, snic.HyperscalerTrace())
+	case "table4":
+		runTable4()
+	case "table5":
+		runTable5()
+	case "strategies":
+		runStrategies()
+	case "specs":
+		runSpecs()
+	case "catalog":
+		runCatalog()
+	case "functional":
+		runFunctional()
+	case "all":
+		runSpecs()
+		runCatalog()
+		runFunctional()
+		runFig4("", false)
+		runFig4("", true)
+		runFig5()
+		snic.RenderFig7(os.Stdout, snic.HyperscalerTrace())
+		runTable4()
+		runTable5()
+		runStrategies()
+	default:
+		fmt.Fprintf(os.Stderr, "snicbench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func selectedBenchmarks(fn string) []*snic.Benchmark {
+	all := snic.Benchmarks()
+	if fn == "" {
+		return all
+	}
+	var out []*snic.Benchmark
+	for _, b := range all {
+		if b.Function == fn {
+			out = append(out, b)
+		}
+	}
+	if len(out) == 0 {
+		fmt.Fprintf(os.Stderr, "snicbench: unknown function %q\n", fn)
+		os.Exit(2)
+	}
+	return out
+}
+
+func runFig4(fn string, asFig6 bool) {
+	tb := snic.NewTestbed()
+	rows := tb.Fig4For(selectedBenchmarks(fn))
+	if asFig6 {
+		snic.RenderFig6(os.Stdout, rows)
+	} else {
+		snic.RenderFig4(os.Stdout, rows)
+	}
+}
+
+func runFig5() {
+	tb := snic.NewTestbed()
+	snic.RenderFig5(os.Stdout, tb.Fig5(nil))
+}
+
+func runTable4() {
+	tb := snic.NewTestbed()
+	snic.RenderTable4(os.Stdout, tb.Table4())
+}
+
+// runTable5 prints the paper-input reproduction and then a fully
+// measured variant driven by our own simulated fleets.
+func runTable5() {
+	fmt.Println("== From the paper's published inputs ==")
+	snic.RenderTable5(os.Stdout, snic.PaperTable5())
+
+	fmt.Println("\n== From this testbed's measurements ==")
+	tbed := snic.NewTestbed()
+	model := tco.PaperCostModel()
+	var rows []tco.Row
+
+	// fio: wire-bound on both fleets.
+	fio, _ := snic.LookupBenchmark("fio", "read")
+	fioSNIC := tbed.MaxThroughput(fio, snic.SNICCPU)
+	fioNIC := tbed.MaxThroughput(fio, snic.HostCPU)
+	rows = append(rows, model.Analyze("fio",
+		tco.AppMeasurement{ThroughputGbps: fioSNIC.TputGbps, PowerW: fioSNIC.ServerPowerW},
+		tco.AppMeasurement{ThroughputGbps: fioNIC.TputGbps, PowerW: fioNIC.ServerPowerW}))
+
+	// OvS at full line rate.
+	ovs, _ := snic.LookupBenchmark("ovs", "load100")
+	ovsSNIC := tbed.MaxThroughput(ovs, snic.SNICCPU)
+	ovsNIC := tbed.MaxThroughput(ovs, snic.HostCPU)
+	rows = append(rows, model.Analyze("OVS",
+		tco.AppMeasurement{ThroughputGbps: ovsSNIC.TputGbps, PowerW: ovsSNIC.ServerPowerW},
+		tco.AppMeasurement{ThroughputGbps: ovsNIC.TputGbps, PowerW: ovsNIC.ServerPowerW}))
+
+	// REM at the hyperscaler trace rate (both fleets sustain it).
+	t4 := tbed.Table4()
+	rows = append(rows, model.Analyze("REM",
+		tco.AppMeasurement{ThroughputGbps: t4[1].AvgTputGbps, PowerW: t4[1].AvgPowerW},
+		tco.AppMeasurement{ThroughputGbps: t4[0].AvgTputGbps, PowerW: t4[0].AvgPowerW}))
+
+	// Compression: the engine's 3.5× throughput advantage.
+	cmp, _ := snic.LookupBenchmark("compress", "app")
+	cmpSNIC := tbed.MaxThroughput(cmp, snic.SNICAccel)
+	cmpNIC := tbed.MaxThroughput(cmp, snic.HostCPU)
+	rows = append(rows, model.Analyze("Compress",
+		tco.AppMeasurement{ThroughputGbps: cmpSNIC.TputGbps, PowerW: cmpSNIC.ServerPowerW},
+		tco.AppMeasurement{ThroughputGbps: cmpNIC.TputGbps, PowerW: cmpNIC.ServerPowerW}))
+
+	snic.RenderTable5(os.Stdout, rows)
+}
+
+func runStrategies() {
+	fmt.Println("== Strategy 2: offload advisor (SLO = 500µs p99) ==")
+	adv := snic.NewAdvisor()
+	t := report.NewTable("", "benchmark", "recommendation", "reason")
+	for _, b := range snic.Benchmarks() {
+		rec := adv.Advise(b, 500*sim.Microsecond)
+		chosen := string(rec.Chosen)
+		if chosen == "" {
+			chosen = "(none meets SLO)"
+		}
+		t.Add(b.Name(), chosen, rec.Reason)
+	}
+	t.Render(os.Stdout)
+
+	fmt.Println("\n== Strategy 3: SNIC<->host load balancer under bursts ==")
+	tbed := snic.NewTestbed()
+	tr := snic.BurstyTrace(5, 72, 60, 6, 2*snic.Millisecond)
+	for _, run := range []struct {
+		name string
+		res  snic.BalancedResult
+	}{
+		{"accelerator only", tbed.RunBalanced(snic.LoadBalancer{SpillQueueThreshold: 1 << 30, HWAssist: true}, tr, 8, 1)},
+		{"software balancer (paper's prototype)", tbed.RunBalanced(snic.SoftwareBalancer(), tr, 8, 1)},
+		{"hardware-assisted balancer (proposed)", tbed.RunBalanced(snic.HardwareBalancer(), tr, 8, 1)},
+	} {
+		fmt.Printf("  %-40s %v\n", run.name, run.res)
+	}
+}
+
+func runFunctional() {
+	fmt.Println("== Execution-driven verification of the real implementations ==")
+	cases := []struct {
+		fn, variant string
+		n           int
+	}{
+		{"snort", "file_image", 3000}, {"rem", "file_executable", 3000},
+		{"nat", "10K", 5000}, {"bm25", "100docs", 500},
+		{"redis", "workload_a", 5000}, {"mica", "batch32", 500},
+		{"crypto", "aes", 300}, {"crypto", "sha1", 500}, {"crypto", "rsa", 10},
+		{"compress", "app", 5}, {"compress", "txt", 5},
+		{"ovs", "load100", 8000}, {"fio", "write", 1000},
+	}
+	failures := 0
+	for _, tc := range cases {
+		rep, err := snic.RunFunctional(tc.fn, tc.variant, tc.n, 42)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "  %s/%s: %v\n", tc.fn, tc.variant, err)
+			failures++
+			continue
+		}
+		fmt.Printf("  %v\n", rep)
+		failures += rep.Failures
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "FUNCTIONAL FAILURES: %d\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("all implementations verified against their oracles")
+}
+
+func runSpecs() {
+	fmt.Println("== Table 1/2: hardware specifications ==")
+	for _, s := range []*cpu.Spec{cpu.XeonGold6140(), cpu.BlueField2Arm(), cpu.XeonE52640v3()} {
+		fmt.Printf("  %v\n", s)
+	}
+	for _, m := range []*mem.Spec{mem.ServerDDR4(), mem.BlueField2DDR4(), mem.ClientDDR4()} {
+		fmt.Printf("  %v\n", m)
+	}
+}
+
+func runCatalog() {
+	fmt.Println("== Table 3: benchmark matrix ==")
+	t := report.NewTable("", "function/variant", "stack", "category", "platforms", "targets (tput/p99)")
+	for _, c := range core.Catalog() {
+		plats := make([]string, len(c.Platforms))
+		for i, p := range c.Platforms {
+			plats[i] = string(p)
+		}
+		target := "-"
+		if c.WantTputRatio > 0 {
+			target = fmt.Sprintf("%.2fx / %.2fx", c.WantTputRatio, c.WantP99Ratio)
+			if c.Assigned {
+				target += " (assigned)"
+			}
+		}
+		t.Add(c.Name(), string(c.Stack), string(c.Category), strings.Join(plats, ","), target)
+	}
+	t.Render(os.Stdout)
+}

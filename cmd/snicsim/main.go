@@ -1,0 +1,67 @@
+// Command snicsim runs a single benchmark on a chosen platform — either
+// at its maximum sustainable throughput (the default) or at a fixed
+// offered rate — and prints the full measurement.
+//
+// Usage:
+//
+//	snicsim -func rem -variant file_image -platform snic-accel
+//	snicsim -func udp-echo -variant 64B -platform host-cpu -rate 0.4
+//	snicsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/snic"
+)
+
+func main() {
+	fn := flag.String("func", "udp-echo", "function name")
+	variant := flag.String("variant", "64B", "variant name")
+	platform := flag.String("platform", "host-cpu", "host-cpu, snic-cpu, or snic-accel")
+	rate := flag.Float64("rate", 0, "fixed offered rate in Gb/s (0 = find max sustainable)")
+	requests := flag.Int("requests", 24000, "requests per run")
+	list := flag.Bool("list", false, "list benchmarks and exit")
+	flag.Parse()
+
+	if *list {
+		for _, b := range snic.Benchmarks() {
+			fmt.Println(snic.Describe(b))
+		}
+		return
+	}
+
+	b, err := snic.LookupBenchmark(*fn, *variant)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snicsim: %v\n", err)
+		os.Exit(2)
+	}
+	plat := snic.Platform(*platform)
+	if !b.HasPlatform(plat) {
+		fmt.Fprintf(os.Stderr, "snicsim: %s does not run on %s (platforms: %v)\n", b.Name(), plat, b.Platforms)
+		os.Exit(2)
+	}
+
+	tb := snic.NewTestbed()
+	var m snic.Measurement
+	if *rate > 0 {
+		m = tb.Run(b, plat, *rate, *requests)
+	} else {
+		m = tb.MaxThroughput(b, plat)
+	}
+
+	fmt.Printf("benchmark:   %s\n", snic.Describe(b))
+	fmt.Printf("platform:    %s\n", m.Platform)
+	if m.OfferedGbps > 0 {
+		fmt.Printf("offered:     %.3f Gb/s\n", m.OfferedGbps)
+	}
+	fmt.Printf("throughput:  %.3f Gb/s (%.0f ops/s, %d ops measured)\n", m.TputGbps, m.TputOps, m.Ops)
+	fmt.Printf("latency:     p50 %v  p99 %v  p99.9 %v  mean %v\n",
+		m.Latency.P50, m.Latency.P99, m.Latency.P999, m.Latency.Mean)
+	fmt.Printf("power:       server %.1f W (BMC domain), SNIC %.2f W (Yocto-Watt domain)\n",
+		m.ServerPowerW, m.SNICPowerW)
+	fmt.Printf("efficiency:  %.3g bits/J system-wide\n", m.EffBitsPerJoule)
+	fmt.Printf("utilization: host %.2f  snic %.2f  engine %.2f\n", m.HostUtil, m.SNICUtil, m.EngineUtil)
+}

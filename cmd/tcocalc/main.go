@@ -1,0 +1,44 @@
+// Command tcocalc runs the §5.2 TCO arithmetic for arbitrary fleet
+// measurements, defaulting to the paper's parameters.
+//
+// Usage:
+//
+//	tcocalc                                  # reproduce Table 5
+//	tcocalc -app mine -snic-tput 2 -snic-w 255 -nic-tput 1 -nic-w 320
+//	tcocalc -app mine ... -kwh 0.25 -years 3 # your electricity and horizon
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/tco"
+	"repro/snic"
+)
+
+func main() {
+	app := flag.String("app", "", "application name (empty = reproduce the paper's Table 5)")
+	snicTput := flag.Float64("snic-tput", 1, "per-server throughput of the SNIC fleet (any unit)")
+	snicW := flag.Float64("snic-w", 255, "per-server power of the SNIC fleet (W)")
+	nicTput := flag.Float64("nic-tput", 1, "per-server throughput of the NIC fleet (same unit)")
+	nicW := flag.Float64("nic-w", 300, "per-server power of the NIC fleet (W)")
+	kwh := flag.Float64("kwh", 0.162, "electricity price ($/kWh)")
+	years := flag.Float64("years", 5, "server lifetime (years)")
+	servers := flag.Int("servers", 10, "baseline SNIC fleet size")
+	flag.Parse()
+
+	if *app == "" {
+		snic.RenderTable5(os.Stdout, snic.PaperTable5())
+		return
+	}
+	model := tco.PaperCostModel()
+	model.PowerUSDPerKWh = *kwh
+	model.Years = *years
+	model.BaselineServers = *servers
+	row := model.Analyze(*app,
+		tco.AppMeasurement{ThroughputGbps: *snicTput, PowerW: *snicW},
+		tco.AppMeasurement{ThroughputGbps: *nicTput, PowerW: *nicW})
+	snic.RenderTable5(os.Stdout, []tco.Row{row})
+	fmt.Printf("\n%v\n", row)
+}

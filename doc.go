@@ -1,0 +1,8 @@
+// Package repro is the root of the SmartNIC datacenter-tax reproduction.
+//
+// The public API lives in package snic; the benchmark harness that
+// regenerates each of the paper's tables and figures lives in this
+// package's bench_test.go (run `go test -bench=. -benchmem .`).
+// See README.md for the map of the repository and EXPERIMENTS.md for the
+// paper-versus-measured record of every experiment.
+package repro

@@ -1,0 +1,44 @@
+// Trace replay (§5.1): the paper's reality check. Fig. 4's maximum
+// throughputs flatter the accelerator, but real datacenter links idle at
+// a fraction of a percent of line rate — so what does offloading REM buy
+// on an actual day of traffic?
+//
+// This demo renders the Fig. 7 hyperscaler trace, replays it through REM
+// on the host CPU and on the SNIC accelerator (Table 4), and runs the
+// resulting per-server power through the §5.2 TCO model — ending at the
+// paper's sober conclusion: for this use case the SNIC fleet costs MORE.
+//
+// Run with: go run ./examples/tracereplay
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/snic"
+)
+
+func main() {
+	tr := snic.HyperscalerTrace()
+	snic.RenderFig7(os.Stdout, tr)
+	fmt.Println()
+
+	tb := snic.NewTestbed()
+	rows := tb.Table4()
+	snic.RenderTable4(os.Stdout, rows)
+
+	host, card := rows[0], rows[1]
+	fmt.Printf("\nBoth platforms sustain the trace, but the accelerator's batching\n")
+	fmt.Printf("costs %.1fx the host's p99 — an SLO set against host performance\n",
+		float64(card.P99)/float64(host.P99))
+	fmt.Printf("rules the SNIC out, and even ignoring latency the overall power\n")
+	fmt.Printf("reduction is only %.0f%% (paper: \"only 9%%\").\n\n",
+		(host.AvgPowerW-card.AvgPowerW)/host.AvgPowerW*100)
+
+	row := snic.AnalyzeTCO("REM@trace",
+		snic.TCOInput{ThroughputGbps: card.AvgTputGbps, PowerW: card.AvgPowerW},
+		snic.TCOInput{ThroughputGbps: host.AvgTputGbps, PowerW: host.AvgPowerW})
+	snic.RenderTable5(os.Stdout, []snic.TCORow{row})
+	fmt.Printf("\n5-year verdict: %.1f%% TCO \"savings\" — the SNIC hardware premium\n", row.SavingsFrac*100)
+	fmt.Println("outweighs the electricity it saves (paper Table 5's REM column).")
+}

@@ -1,0 +1,167 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// drive submits MTU-sized tasks open-loop at the given rate for the given
+// window and returns achieved throughput in Gb/s.
+func driveByteEngine(t *testing.T, mk func(*sim.Engine) *ByteEngine, size int, offeredGbps float64, window sim.Duration) float64 {
+	t.Helper()
+	eng := sim.NewEngine()
+	be := mk(eng)
+	interArrival := sim.DurationOf(size, offeredGbps*1e9)
+	var doneBytes uint64
+	var submit func()
+	submit = func() {
+		if eng.Now() >= sim.Time(window) {
+			return
+		}
+		be.Submit(size, func(_, _ sim.Time) { doneBytes += uint64(size) })
+		eng.After(interArrival, submit)
+	}
+	eng.At(0, submit)
+	eng.RunUntil(sim.Time(window))
+	return float64(doneBytes) * 8 / window.Seconds() / 1e9
+}
+
+func TestREMEngineCapsNear50Gbps(t *testing.T) {
+	// Offer 90 Gb/s; the engine must cap near 50 (Key Observation 3).
+	got := driveByteEngine(t, REMEngine, 1500, 90, 20*sim.Millisecond)
+	if got < 44 || got > 52 {
+		t.Fatalf("REM engine sustained %.1f Gb/s, want ~48-50", got)
+	}
+}
+
+func TestREMEngineKeepsUpBelowCap(t *testing.T) {
+	got := driveByteEngine(t, REMEngine, 1500, 30, 20*sim.Millisecond)
+	if got < 29 || got > 31 {
+		t.Fatalf("REM engine at 30 Gb/s offered delivered %.1f", got)
+	}
+}
+
+func TestCompressEngineCapsNear50Gbps(t *testing.T) {
+	got := driveByteEngine(t, CompressEngine, 64<<10, 90, 20*sim.Millisecond)
+	if got < 42 || got > 52 {
+		t.Fatalf("compress engine sustained %.1f Gb/s, want ~48-50", got)
+	}
+}
+
+func TestEnginesBelowLineRate(t *testing.T) {
+	// O3: no accelerator reaches the 100 Gb/s line rate.
+	eng := sim.NewEngine()
+	for _, e := range []*ByteEngine{REMEngine(eng), CompressEngine(eng)} {
+		if e.RateBits >= 100e9 {
+			t.Errorf("%s rate %.0f >= line rate", e.Name, e.RateBits)
+		}
+	}
+}
+
+func TestByteEngineLowLoadLatencyIsBatchWaitDominated(t *testing.T) {
+	// A single task must wait out MaxWait before the batch flushes:
+	// that is the accelerator's latency floor at low packet rates and
+	// the root of Table 4's 17.43 µs vs 5.07 µs.
+	eng := sim.NewEngine()
+	be := REMEngine(eng)
+	var lat sim.Duration
+	start := eng.Now()
+	be.Submit(1500, func(_, end sim.Time) { lat = end.Sub(start) })
+	eng.Run()
+	if lat < 11*sim.Microsecond {
+		t.Fatalf("single-task latency %v below the 11µs batch wait", lat)
+	}
+	if lat > 22*sim.Microsecond {
+		t.Fatalf("single-task latency %v unreasonably high", lat)
+	}
+}
+
+func TestByteEngineFullBatchSkipsWait(t *testing.T) {
+	eng := sim.NewEngine()
+	be := REMEngine(eng)
+	var last sim.Duration
+	start := eng.Now()
+	for i := 0; i < 48; i++ { // exactly MaxBatch
+		be.Submit(1500, func(_, end sim.Time) { last = end.Sub(start) })
+	}
+	eng.Run()
+	// 48×1500B at 66 Gb/s ≈ 8.7µs + 2.5µs batch + per-task overhead ≈ 12.5µs,
+	// but crucially no 11µs arming wait on top.
+	if last > 15*sim.Microsecond {
+		t.Fatalf("full batch latency %v, want < 15µs (no timeout wait)", last)
+	}
+}
+
+func TestPKABulkRates(t *testing.T) {
+	eng := sim.NewEngine()
+	pka := NewPKAEngine(eng)
+	// Saturate with 64 KB AES tasks for 50 ms.
+	const size = 64 << 10
+	var bytes uint64
+	var submit func()
+	submit = func() {
+		if eng.Now() >= sim.Time(50*sim.Millisecond) {
+			return
+		}
+		pka.SubmitBulk(AlgoAES, size, func(_, _ sim.Time) {
+			bytes += size
+			submit()
+		})
+	}
+	// Keep 4 in flight.
+	for i := 0; i < 4; i++ {
+		eng.At(0, submit)
+	}
+	eng.RunUntil(sim.Time(50 * sim.Millisecond))
+	gbps := float64(bytes) * 8 / 0.05 / 1e9
+	if gbps < 33 || gbps > 39 {
+		t.Fatalf("PKA AES rate = %.1f Gb/s, want ~38", gbps)
+	}
+}
+
+func TestPKARSAOpRate(t *testing.T) {
+	eng := sim.NewEngine()
+	pka := NewPKAEngine(eng)
+	ops := 0
+	var submit func()
+	submit = func() {
+		if eng.Now() >= sim.Time(sim.Second) {
+			return
+		}
+		pka.SubmitOp(AlgoRSA, func(_, _ sim.Time) {
+			ops++
+			submit()
+		})
+	}
+	for i := 0; i < 2; i++ {
+		eng.At(0, submit)
+	}
+	eng.RunUntil(sim.Time(sim.Second))
+	// ~21 kops/s minus command overhead.
+	if ops < 19500 || ops > 22200 {
+		t.Fatalf("RSA ops/s = %d, want ~21000", ops)
+	}
+}
+
+func TestPKAWrongKindPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	pka := NewPKAEngine(eng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RSA as bulk did not panic")
+		}
+	}()
+	pka.SubmitBulk(AlgoRSA, 1024, nil)
+}
+
+func TestPKAOpKindPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	pka := NewPKAEngine(eng)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AES as op did not panic")
+		}
+	}()
+	pka.SubmitOp(AlgoAES, nil)
+}

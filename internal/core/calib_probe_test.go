@@ -1,0 +1,32 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestCalibrationProbe prints the achieved SNIC÷host ratios for every
+// catalog entry next to the paper targets. Run with -v to inspect; it
+// fails only on gross breakage (no throughput at all).
+func TestCalibrationProbe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration probe is slow")
+	}
+	r := NewRunner()
+	for _, cfg := range Catalog() {
+		cfg := cfg
+		t.Run(cfg.Name(), func(t *testing.T) {
+			t.Parallel()
+			host := r.MaxThroughput(cfg, HostCPU)
+			snic := r.MaxThroughput(cfg, cfg.SNICPlatform())
+			if host.TputOps == 0 || snic.TputOps == 0 {
+				t.Fatalf("zero throughput: host=%v snic=%v", host, snic)
+			}
+			tputRatio := snic.TputGbps / host.TputGbps
+			p99Ratio := float64(snic.Latency.P99) / float64(host.Latency.P99)
+			t.Logf("%-24s tput %.3f (want %.3f) | p99 %.2f (want %.2f) | host %.2f Gb/s p99=%v %.0fW | snic %.2f Gb/s p99=%v %.0fW",
+				cfg.Name(), tputRatio, cfg.WantTputRatio, p99Ratio, cfg.WantP99Ratio,
+				host.TputGbps, host.Latency.P99, host.ServerPowerW,
+				snic.TputGbps, snic.Latency.P99, snic.ServerPowerW)
+		})
+	}
+}

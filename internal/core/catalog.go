@@ -1,0 +1,566 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/accel"
+	"repro/internal/cpu"
+	"repro/internal/funcs/compressfn"
+	"repro/internal/funcs/cryptofn"
+	"repro/internal/mem"
+	"repro/internal/netstack"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// Category groups Fig. 4's bars.
+type Category string
+
+const (
+	// CategoryMicro is the §3.3 networking-stack microbenchmarks.
+	CategoryMicro Category = "microbenchmark"
+	// CategorySoftware is Fig. 4's "Software Only Function" group.
+	CategorySoftware Category = "software-only"
+	// CategoryAccelerated is the "Hardware Accelerated Function" group.
+	CategoryAccelerated Category = "hardware-accelerated"
+)
+
+// Mode selects the runner's driving discipline.
+type Mode string
+
+const (
+	// ModeNetServe: open-loop request/response over the wire (most
+	// functions).
+	ModeNetServe Mode = "net-serve"
+	// ModeLocal: closed-loop local processing, no client traffic
+	// (Cryptography, Compression — §3.4 runs them "locally on the
+	// server without processing TCP/UDP packets").
+	ModeLocal Mode = "local"
+	// ModeStorage: fio over NVMe-oF — closed-loop block I/O against the
+	// remote RAMDisk with the NVMe-oF offload engine in the NIC.
+	ModeStorage Mode = "storage"
+	// ModeSwitched: OvS — data plane forwarded by the eSwitch in
+	// hardware on both platforms; the CPU runs only the control plane.
+	ModeSwitched Mode = "switched"
+)
+
+// EngineKind names the accelerator behind a SNICAccel run.
+type EngineKind string
+
+const (
+	EngineNone    EngineKind = ""
+	EngineREM     EngineKind = "rem"
+	EngineDeflate EngineKind = "deflate"
+	EnginePKABulk EngineKind = "pka-bulk"
+	EnginePKAOp   EngineKind = "pka-op"
+)
+
+// Config describes one benchmark variant of Table 3 with its calibrated
+// cost model. Host application costs are set from first principles
+// (cycles of real work per request); where the paper reports a
+// throughput ratio for a CPU-vs-CPU comparison, the SNICFactor is solved
+// analytically from it (see solveSNICFactor).
+type Config struct {
+	Function string
+	Variant  string
+	Stack    netstack.Kind
+	Category Category
+	Mode     Mode
+	// Platforms this variant runs on (Table 3's HC/SC/SA columns).
+	Platforms []Platform
+
+	// ReqSize/RespSize are wire payload bytes. Mixed replaces ReqSize
+	// with the CTU-style bimodal distribution (REM's PCAP replay).
+	ReqSize, RespSize int
+	Mixed             bool
+	// Closed > 0 runs closed-loop with that many outstanding operations.
+	// ClosedSNIC overrides the depth on the SNIC platforms: reaching the
+	// accelerators' maximum throughput requires far deeper pipelines
+	// (batch assembly) than a CPU needs — the throughput/latency trade
+	// behind the accelerators' worst-case p99.
+	Closed     int
+	ClosedSNIC int
+
+	// Cores per platform; zero means the testbed default (8/8, 2 staging).
+	HostCores, SNICCores int
+
+	// Application service model (beyond stack costs), host cycles.
+	HostBaseCycles, HostPerByteCycles float64
+	// SNICFactor multiplies app cycles on the Arm cores (derived from
+	// WantTputRatio for net-served entries; manual elsewhere).
+	SNICFactor float64
+	// Service-time jitter sigmas (log-normal). High host sigma models
+	// match-heavy inputs whose occasional expensive packets blow up the
+	// tail (REM file_image).
+	HostSigma, SNICSigma float64
+
+	// Memory model.
+	MemIntensity   float64
+	WorkingSetHost int64
+	WorkingSetSNIC int64
+
+	// Rate-based local functions: the platform processes payload at
+	// these rates instead of a cycle model (ISA-extension paths).
+	HostRateBits float64 // bits/s (AES, SHA, Deflate with ISA-L)
+	HostRateOps  float64 // ops/s (RSA)
+	LocalOpBytes int     // bytes per local op (chunk size)
+
+	// Accelerator binding.
+	Engine  EngineKind
+	PKAAlgo accel.PKAAlgo
+
+	// Extra one-way fixed latency per platform (calibrated residuals,
+	// e.g. fio's read/write asymmetry between verbs initiators).
+	ExtraLatency map[Platform]sim.Duration
+
+	// OvS: fraction of packets that miss the hardware datapath and cost
+	// a control-plane upcall.
+	UpcallFrac float64
+
+	// KneeP99Mult defines "maximum sustainable throughput": the highest
+	// rate whose p99 stays within this multiple of light-load p99
+	// (Fig. 5's "reasonable p99" criterion). Zero means the default 3×;
+	// a huge value reduces the criterion to delivered≈offered, which is
+	// how throughput-oriented saturation runs (Redis, Snort, REM
+	// file_image's deliberately blown tail) are driven.
+	KneeP99Mult float64
+
+	// MixedExtraCycles is host-only extra per-packet work that appears
+	// under real-trace traffic (Fig. 4's PCAP replay) but not under
+	// synthetic uniform payloads (Fig. 5): candidate-match verification
+	// in the software REM path. The RXP engine verifies in hardware.
+	MixedExtraCycles float64
+
+	// Paper targets for EXPERIMENTS.md and invariant tests, SNIC÷host.
+	// Zero means the paper gives no number. Assigned marks values chosen
+	// inside a paper-reported range rather than quoted directly.
+	WantTputRatio, WantP99Ratio float64
+	Assigned                    bool
+}
+
+// deliveredOnly makes the knee criterion pure delivered≈offered.
+const deliveredOnly = 1e9
+
+// Name returns "function/variant".
+func (c *Config) Name() string { return c.Function + "/" + c.Variant }
+
+// SNICPlatform returns the non-host platform this variant is evaluated
+// on in Fig. 4 (the accelerator when one exists, else the SNIC CPU).
+func (c *Config) SNICPlatform() Platform {
+	for _, p := range c.Platforms {
+		if p == SNICAccel {
+			return p
+		}
+	}
+	return SNICCPU
+}
+
+// HasPlatform reports whether the variant runs on p.
+func (c *Config) HasPlatform(p Platform) bool {
+	for _, q := range c.Platforms {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// Catalog returns every benchmark variant of Table 3 plus the §3.3
+// microbenchmarks, fully calibrated. The order matches the paper's
+// figure layout: microbenchmarks, then software-only, then
+// hardware-accelerated.
+func Catalog() []*Config {
+	hcSc := []Platform{HostCPU, SNICCPU}
+	hcScSa := []Platform{HostCPU, SNICCPU, SNICAccel}
+
+	var out []*Config
+
+	// --- Microbenchmarks (§3.3) ---
+	for _, v := range []struct {
+		size      int
+		tput, p99 float64
+	}{
+		// Paper: SNIC UDP is 76.5–85.7% lower tput, 1.1–1.4× p99;
+		// small packets are hit hardest (assigned to 64 B).
+		{64, 0.143, 1.40},
+		{1024, 0.235, 1.10},
+	} {
+		out = append(out, &Config{
+			Function: "udp-echo", Variant: fmt.Sprintf("%dB", v.size),
+			Stack: netstack.KindUDP, Category: CategoryMicro, Mode: ModeNetServe,
+			Platforms: hcSc, ReqSize: v.size, RespSize: v.size,
+			HostBaseCycles: 300, SNICFactor: -1, // solved
+			KneeP99Mult:   1.3,
+			WantTputRatio: v.tput, WantP99Ratio: v.p99, Assigned: true,
+		})
+	}
+	for _, v := range []struct {
+		size int
+		tput float64
+	}{
+		{64, 0},     // paper gives no DPDK 64 B number; emergent
+		{1024, 1.0}, // both platforms reach line rate (§3.3)
+	} {
+		out = append(out, &Config{
+			Function: "dpdk-pingpong", Variant: fmt.Sprintf("%dB", v.size),
+			Stack: netstack.KindDPDK, Category: CategoryMicro, Mode: ModeNetServe,
+			Platforms: hcSc, ReqSize: v.size, RespSize: v.size,
+			HostCores: 1, SNICCores: 1,
+			HostBaseCycles: 15, SNICFactor: 1.0,
+			KneeP99Mult:   deliveredOnly,
+			WantTputRatio: v.tput,
+		})
+	}
+	// RDMA perftest: SNIC up to 1.4× tput, 14.6–24.3% lower p99 (the
+	// host's longer path to the NIC transport engine). Fig. 4 shows the
+	// 1 KB numbers; the stack-cost asymmetry alone produces the gap
+	// (the solver clamps: the verbs path IS the workload).
+	out = append(out, &Config{
+		Function: "rdma-perftest", Variant: "1KB",
+		Stack: netstack.KindRDMA, Category: CategoryMicro, Mode: ModeNetServe,
+		Platforms: hcSc, ReqSize: 1024, RespSize: 1024,
+		HostCores: 1, SNICCores: 1,
+		HostBaseCycles: 60, SNICFactor: -1, // solved (clamps to stack-determined)
+		KneeP99Mult:   2.0,
+		WantTputRatio: 1.40, WantP99Ratio: 0.78,
+	})
+
+	// --- Software-only functions ---
+	// Redis + YCSB: TCP, 1 KB records, 30 K loaded.
+	for _, v := range []struct {
+		w         string
+		tput, p99 float64
+	}{
+		{"workload_a", 0.45, 2.0},
+		{"workload_b", 0.50, 1.8},
+		{"workload_c", 0.55, 1.6},
+	} {
+		out = append(out, &Config{
+			Function: "redis", Variant: v.w,
+			Stack: netstack.KindTCP, Category: CategorySoftware, Mode: ModeNetServe,
+			Platforms: hcSc, ReqSize: 96, RespSize: 1064,
+			// Zipf-skewed YCSB traffic serves mostly from cache: the
+			// DRAM intensity per request is low.
+			HostBaseCycles: 5200, HostPerByteCycles: 0.55, SNICFactor: -1,
+			MemIntensity: 0.05, WorkingSetHost: 33 << 20, WorkingSetSNIC: 33 << 20,
+			KneeP99Mult:   1.8,
+			WantTputRatio: v.tput, WantP99Ratio: v.p99, Assigned: true,
+		})
+	}
+	// Snort: UDP packet inspection against the three rule sets.
+	for _, v := range []struct {
+		set       string
+		tput, p99 float64
+	}{
+		{"file_image", 0.35, 2.8},
+		{"file_flash", 0.40, 2.4},
+		{"file_executable", 0.45, 2.2},
+	} {
+		// Snort's full rule engine (libpcap, decode, detection, logging)
+		// costs tens of kilocycles per packet — it is famously an order
+		// of magnitude slower than Hyperscan — which dilutes the UDP
+		// stack gap and keeps the SNIC ratio above the raw UDP micro's.
+		out = append(out, &Config{
+			Function: "snort", Variant: v.set,
+			Stack: netstack.KindUDP, Category: CategorySoftware, Mode: ModeNetServe,
+			Platforms: hcSc, ReqSize: 1024, RespSize: 256,
+			HostBaseCycles: 26000, HostPerByteCycles: 1.9, SNICFactor: -1,
+			MemIntensity: 0.25, WorkingSetHost: 5 << 20, WorkingSetSNIC: 5 << 20,
+			KneeP99Mult:   deliveredOnly,
+			WantTputRatio: v.tput, WantP99Ratio: v.p99, Assigned: true,
+		})
+	}
+	// NAT: tiny per-packet work, stack-dominated; the 1 M-entry table
+	// spills the SNIC's 6 MB LLC.
+	for _, v := range []struct {
+		entries   string
+		ws        int64
+		tput, p99 float64
+	}{
+		// NAT's app work is one lookup — the UDP stack is ~98% of the
+		// packet cost, so the achievable ratio is pinned near the raw
+		// UDP stack gap (assigned at the stack-determined values).
+		{"10K", 10_000 * 96, 0.20, 1.3},
+		{"1M", 1_000_000 * 96, 0.115, 1.5},
+	} {
+		out = append(out, &Config{
+			Function: "nat", Variant: v.entries,
+			Stack: netstack.KindUDP, Category: CategorySoftware, Mode: ModeNetServe,
+			Platforms: hcSc, ReqSize: 256, RespSize: 256,
+			HostBaseCycles: 380, SNICFactor: -1,
+			MemIntensity: 0.45, WorkingSetHost: v.ws, WorkingSetSNIC: v.ws,
+			KneeP99Mult:   1.3,
+			WantTputRatio: v.tput, WantP99Ratio: v.p99, Assigned: true,
+		})
+	}
+	// BM25: the heaviest app compute in the suite; the 1 K-document
+	// corpus is where the SNIC collapses to ~0.1× (the bottom of the
+	// paper's 0.1–3.5× range, assigned here).
+	for _, v := range []struct {
+		docs      string
+		cycles    float64
+		tput, p99 float64
+	}{
+		{"100docs", 42_000, 0.30, 2.5},
+		{"1Kdocs", 340_000, 0.105, 3.2},
+	} {
+		out = append(out, &Config{
+			Function: "bm25", Variant: v.docs,
+			Stack: netstack.KindUDP, Category: CategorySoftware, Mode: ModeNetServe,
+			Platforms: hcSc, ReqSize: 128, RespSize: 192,
+			HostBaseCycles: v.cycles, SNICFactor: -1,
+			MemIntensity: 0.30, WorkingSetHost: 4 << 20, WorkingSetSNIC: 4 << 20,
+			KneeP99Mult:   2.0,
+			WantTputRatio: v.tput, WantP99Ratio: v.p99, Assigned: true,
+		})
+	}
+	// MICA: RDMA batched GETs (19.5–54.5% lower tput, 6.7–26.2% higher
+	// p99). The client-side batch assembly adds a fixed latency floor on
+	// both platforms, which is what keeps the p99 gap far below the
+	// service-time gap.
+	for _, v := range []struct {
+		batch     int
+		tput, p99 float64
+	}{
+		{4, 0.455, 1.262},
+		{32, 0.805, 1.067},
+	} {
+		out = append(out, &Config{
+			Function: "mica", Variant: fmt.Sprintf("batch%d", v.batch),
+			Stack: netstack.KindRDMA, Category: CategorySoftware, Mode: ModeNetServe,
+			Platforms: hcSc,
+			ReqSize:   40 + v.batch*16, RespSize: 40 + v.batch*40,
+			HostBaseCycles: 800 + float64(v.batch)*600, SNICFactor: -1,
+			MemIntensity: 0.40, WorkingSetHost: 24 << 20, WorkingSetSNIC: 24 << 20,
+			ExtraLatency: map[Platform]sim.Duration{
+				HostCPU: 18 * sim.Microsecond, SNICCPU: 18 * sim.Microsecond,
+			},
+			KneeP99Mult:   2.5,
+			WantTputRatio: v.tput, WantP99Ratio: v.p99,
+		})
+	}
+	// fio over NVMe-oF: 64 KB blocks, iodepth 4, RAMDisk target with the
+	// NVMe-oF offload engine. Max throughput is wire-limited on both
+	// platforms (paper: "almost the same"); the p99 asymmetry lives in
+	// the initiators' read vs write completion paths.
+	for _, v := range []struct {
+		op        string
+		p99       float64
+		hostExtra sim.Duration
+		snicExtra sim.Duration
+	}{
+		// Host 36% lower p99 on reads; 18.2% higher on writes.
+		{"read", 1.5625, 0, 26 * sim.Microsecond},
+		{"write", 0.846, 14 * sim.Microsecond, 0},
+	} {
+		out = append(out, &Config{
+			Function: "fio", Variant: v.op,
+			Stack: netstack.KindRDMA, Category: CategorySoftware, Mode: ModeStorage,
+			// iodepth 4 × 2 jobs keeps the wire (not the round trip)
+			// the bottleneck, as in the paper's equal-throughput runs.
+			Platforms: hcSc, ReqSize: 96, RespSize: 64 << 10, Closed: 8,
+			HostCores: 1, SNICCores: 1,
+			HostBaseCycles: 2600, SNICFactor: 1.0,
+			MemIntensity: 0.6, WorkingSetHost: 64 << 20, WorkingSetSNIC: 14 << 20,
+			ExtraLatency: map[Platform]sim.Duration{
+				HostCPU: v.hostExtra, SNICCPU: v.snicExtra,
+			},
+			WantTputRatio: 1.0, WantP99Ratio: v.p99,
+		})
+	}
+
+	// --- Hardware-accelerated functions ---
+	// Cryptography: run locally, one host core with ISA paths
+	// (AES-NI/RDRAND) versus one staging core feeding the PKA engine.
+	// Throughput ratios are the Fig. 4 discussion numbers; the paper
+	// gives no crypto p99, so the latency targets are the emergent
+	// service-time ratios (assigned).
+	out = append(out,
+		&Config{
+			Function: "crypto", Variant: "aes",
+			Stack: netstack.KindTCP, Category: CategoryAccelerated, Mode: ModeLocal,
+			Platforms: hcScSa, Closed: 1, LocalOpBytes: 64 << 10,
+			HostCores: 1, SNICCores: 1,
+			HostRateBits: cryptofn.CalibratedHostRates().AESBits,
+			SNICFactor:   6.5, // table-based AES on A72, no AES-NI
+			Engine:       EnginePKABulk, PKAAlgo: accel.AlgoAES,
+			WantTputRatio: 1 / 1.385, WantP99Ratio: 1.05, Assigned: true,
+		},
+		&Config{
+			Function: "crypto", Variant: "rsa",
+			Stack: netstack.KindTCP, Category: CategoryAccelerated, Mode: ModeLocal,
+			Platforms: hcScSa, Closed: 1, LocalOpBytes: 256,
+			HostCores: 1, SNICCores: 1,
+			HostRateOps: cryptofn.CalibratedHostRates().RSAOps,
+			SNICFactor:  3.0,
+			Engine:      EnginePKAOp, PKAAlgo: accel.AlgoRSA,
+			WantTputRatio: 1 / 1.912, WantP99Ratio: 1.45, Assigned: true,
+		},
+		&Config{
+			Function: "crypto", Variant: "sha1",
+			Stack: netstack.KindTCP, Category: CategoryAccelerated, Mode: ModeLocal,
+			Platforms: hcScSa, Closed: 1, LocalOpBytes: 64 << 10,
+			HostCores: 1, SNICCores: 1,
+			HostRateBits: cryptofn.CalibratedHostRates().SHABits,
+			SNICFactor:   2.0,
+			Engine:       EnginePKABulk, PKAAlgo: accel.AlgoSHA,
+			WantTputRatio: 1.894, WantP99Ratio: 0.40, Assigned: true,
+		},
+	)
+	// REM: DPDK packets. Fig. 4 replays the mixed-size PCAP-style trace;
+	// Fig. 5 sweeps MTU packets. file_image: many short patterns →
+	// expensive per-byte scan, frequent candidate matches to verify
+	// under real traffic (MixedExtraCycles), and a heavy service tail
+	// (HostSigma) whose p99 "increases dramatically" past the knee. The
+	// host is pushed to its raw-throughput max there (deliveredOnly), so
+	// its p99 at the measured point is awful and the engine's flat
+	// ~25 µs wins ~10× — the 0.1× bottom of the paper's p99 range. The
+	// selective sets stay clean (tight knee, ~5 µs host p99) and beat
+	// the engine's batching latency ~5×.
+	for _, v := range []struct {
+		set        string
+		base, perB float64
+		mixedExtra float64
+		sigma      float64
+		knee       float64
+		tput, p99  float64
+	}{
+		// file_image cycle costs are medians; its 1.15 sigma makes the
+		// mean ~1.94× the median, which is what the capacity targets
+		// are calibrated against.
+		{"file_image", 330, 1.14, 2100, 1.15, deliveredOnly, 1.8, 0.10},
+		{"file_flash", 440, 1.8, 150, 0.25, 2.5, 0.60, 4.7},
+		{"file_executable", 420, 1.75, 150, 0.25, 2.5, 0.60, 4.9},
+	} {
+		out = append(out, &Config{
+			Function: "rem", Variant: v.set,
+			Stack: netstack.KindDPDK, Category: CategoryAccelerated, Mode: ModeNetServe,
+			Platforms: hcScSa, Mixed: true, ReqSize: 745, RespSize: 32,
+			HostBaseCycles: v.base, HostPerByteCycles: v.perB,
+			MixedExtraCycles: v.mixedExtra,
+			HostSigma:        v.sigma, SNICFactor: 3.2,
+			MemIntensity: 0.3, WorkingSetHost: 18 << 20, WorkingSetSNIC: 18 << 20,
+			Engine:        EngineREM,
+			KneeP99Mult:   v.knee,
+			WantTputRatio: v.tput, WantP99Ratio: v.p99,
+		})
+	}
+	// Compression: Deflate level 9 over 64 KB corpus chunks, closed
+	// loop (dpdk-test-compress-perf style). Host = single-core ISA-L;
+	// engine wins 3.5× on throughput but pays batch assembly and a deep
+	// pipeline — the 13.8× top of the paper's p99 range (assigned).
+	for _, v := range []struct {
+		input     compressfn.Input
+		tput, p99 float64
+	}{
+		{compressfn.InputApp, 3.5, 13.8},
+		{compressfn.InputTxt, 3.5, 12.0},
+	} {
+		out = append(out, &Config{
+			Function: "compress", Variant: string(v.input),
+			Stack: netstack.KindDPDK, Category: CategoryAccelerated, Mode: ModeLocal,
+			Platforms: hcScSa, Closed: 1, ClosedSNIC: 64, LocalOpBytes: compressfn.ChunkBytes,
+			HostCores: 1, SNICCores: 1,
+			HostRateBits:  compressfn.HostRates(v.input),
+			SNICFactor:    3.2,
+			Engine:        EngineDeflate,
+			WantTputRatio: v.tput, WantP99Ratio: v.p99, Assigned: true,
+		})
+	}
+	// OvS: data plane in the eSwitch on both platforms (MTU packets at
+	// 10% and 100% of line rate); the CPU handles only control-plane
+	// upcalls, so throughput and p99 are platform-independent while
+	// power is not.
+	for _, v := range []struct {
+		load   string
+		upcall float64
+	}{
+		{"load10", 0.004},
+		{"load100", 0.002},
+	} {
+		out = append(out, &Config{
+			Function: "ovs", Variant: v.load,
+			Stack: netstack.KindDPDK, Category: CategoryAccelerated, Mode: ModeSwitched,
+			Platforms: hcScSa, ReqSize: nicMTU, RespSize: nicMTU,
+			HostBaseCycles: 9000, SNICFactor: 1.6,
+			UpcallFrac:    v.upcall,
+			WantTputRatio: 1.0, WantP99Ratio: 1.0, Assigned: true,
+		})
+	}
+
+	// Solve the Arm factors for every CPU-vs-CPU net-served entry with a
+	// throughput target.
+	for _, c := range out {
+		if c.SNICFactor == -1 {
+			if c.WantTputRatio > 0 && c.Mode == ModeNetServe {
+				c.SNICFactor = solveSNICFactor(c)
+			} else {
+				c.SNICFactor = 1.0
+			}
+		}
+	}
+	return out
+}
+
+const nicMTU = 1500
+
+// Lookup returns the catalog entry for function/variant.
+func Lookup(function, variant string) (*Config, error) {
+	for _, c := range Catalog() {
+		if c.Function == function && c.Variant == variant {
+			return c, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no catalog entry %s/%s", function, variant)
+}
+
+// Functions returns the distinct function names in catalog order.
+func Functions() []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range Catalog() {
+		if !seen[c.Function] {
+			seen[c.Function] = true
+			out = append(out, c.Function)
+		}
+	}
+	return out
+}
+
+// solveSNICFactor derives the Arm application-cycle multiplier that lands
+// a CPU-bound open-loop entry on its Fig. 4 throughput target, given the
+// stack costs and memory penalties both platforms pay. Max throughput of
+// a CPU-bound server is cores/serviceTime, so
+//
+//	want = tput_snic/tput_host = svc_host/svc_snic
+//
+// and the factor follows from inverting the SNIC service-time model.
+func solveSNICFactor(c *Config) float64 {
+	host, snic := cpu.XeonGold6140(), cpu.BlueField2Arm()
+	hostMem, snicMem := mem.ServerDDR4(), mem.BlueField2DDR4()
+	prof := netstack.ByKind(c.Stack)
+	size := c.ReqSize
+	if c.Mixed {
+		size = int(trace.CTUMixed().Mean())
+	}
+	appH := c.HostBaseCycles + c.HostPerByteCycles*float64(size)
+	stackH := prof.RxCycles(host.Arch, size) + prof.TxCycles(host.Arch, c.RespSize)
+	penH := hostMem.Penalty(c.MemIntensity, c.WorkingSetHost, host.L3Bytes)
+	svcH := (stackH + appH + c.MixedExtraCycles) / host.IPC / host.BaseHz * penH
+
+	svcS := svcH / c.WantTputRatio
+	penS := snicMem.Penalty(c.MemIntensity, c.WorkingSetSNIC, snic.L3Bytes)
+	nominalS := svcS / penS * snic.IPC * snic.BaseHz
+	stackS := prof.RxCycles(snic.Arch, size) + prof.TxCycles(snic.Arch, c.RespSize)
+	appS := nominalS - stackS
+	if appS <= 0 {
+		// The stack alone already exceeds the target service time; the
+		// achievable ratio is stack-determined. Run the app essentially
+		// for free on the SNIC and let the ratio land where it lands.
+		return 0.05
+	}
+	if appH <= 0 {
+		return 1
+	}
+	return appS / appH
+}

@@ -1,0 +1,271 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netstack"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// This file drives the paper's evaluation: Fig. 4 (normalized maximum
+// throughput and p99 across all functions), Fig. 5 (REM rate sweep),
+// Fig. 6 (power and energy efficiency), Fig. 7 + Table 4 (hyperscaler
+// trace replay), and the §5.3 strategy experiments. Table 5 lives in
+// package tco, fed by these measurements.
+
+// Fig4Row is one function/variant of Fig. 4: the host measurement, the
+// SNIC-side measurement (accelerator when one exists), and the
+// normalized ratios the paper plots.
+type Fig4Row struct {
+	Config *Config
+	Host   Measurement
+	SNIC   Measurement
+
+	TputRatio float64 // SNIC ÷ host maximum sustainable throughput
+	P99Ratio  float64 // SNIC ÷ host p99 at the max-throughput point
+	EffRatio  float64 // SNIC ÷ host system-wide energy efficiency (Fig. 6)
+}
+
+func (r Fig4Row) String() string {
+	return fmt.Sprintf("%-22s tput %.2fx  p99 %.2fx  eff %.2fx",
+		r.Config.Name(), r.TputRatio, r.P99Ratio, r.EffRatio)
+}
+
+// Fig4 measures every catalog entry on the host and on its Fig. 4 SNIC
+// platform and returns the normalized rows (also the data behind Fig. 6).
+func (r *Runner) Fig4() []Fig4Row {
+	return r.Fig4For(Catalog())
+}
+
+// Fig4For measures the given subset.
+func (r *Runner) Fig4For(configs []*Config) []Fig4Row {
+	rows := make([]Fig4Row, 0, len(configs))
+	for _, cfg := range configs {
+		rows = append(rows, r.fig4Row(cfg))
+	}
+	return rows
+}
+
+func (r *Runner) fig4Row(cfg *Config) Fig4Row {
+	host := r.MaxThroughput(cfg, HostCPU)
+	snic := r.MaxThroughput(cfg, cfg.SNICPlatform())
+	row := Fig4Row{Config: cfg, Host: host, SNIC: snic}
+	if host.TputGbps > 0 {
+		row.TputRatio = snic.TputGbps / host.TputGbps
+	}
+	if host.Latency.P99 > 0 {
+		row.P99Ratio = float64(snic.Latency.P99) / float64(host.Latency.P99)
+	}
+	if host.EffBitsPerJoule > 0 {
+		row.EffRatio = snic.EffBitsPerJoule / host.EffBitsPerJoule
+	}
+	return row
+}
+
+// ---- Fig. 5: REM throughput & p99 versus offered rate ----
+
+// Fig5Point is one offered rate of the Fig. 5 sweep.
+type Fig5Point struct {
+	OfferedGbps float64
+	// Measurements per curve; keys are the curve labels of the figure.
+	Curves map[string]Measurement
+}
+
+// Fig5Curves are the figure's series: host CPU with the two interesting
+// rule sets, and the accelerator (one curve — "the SNIC accelerator
+// offers almost the same throughput and p99 for the two input rule
+// sets").
+var Fig5Curves = []string{"host/file_image", "host/file_executable", "accel"}
+
+// remMTU returns the Fig. 5 variant of a REM config: fixed MTU packets
+// (no PCAP mix, so no mixed-traffic match-verification extra).
+func remMTU(set trace.RuleSetName) *Config {
+	cfg, err := Lookup("rem", string(set))
+	if err != nil {
+		panic(err)
+	}
+	c := *cfg
+	c.Mixed = false
+	c.ReqSize = nicMTU
+	c.Variant = string(set) + "-mtu"
+	return &c
+}
+
+// Fig5 sweeps offered rate and measures throughput and p99 for the three
+// curves. Rates are in Gb/s of request payload.
+func (r *Runner) Fig5(rates []float64) []Fig5Point {
+	imgCfg := remMTU(trace.RuleSetImage)
+	exeCfg := remMTU(trace.RuleSetExecutable)
+	points := make([]Fig5Point, 0, len(rates))
+	for i, rate := range rates {
+		opts := DefaultRunOpts()
+		opts.Requests = 12000
+		opts.OfferedGbps = rate
+		opts.Seed = uint64(1000 + i)
+		p := Fig5Point{OfferedGbps: rate, Curves: map[string]Measurement{
+			"host/file_image":      r.Run(imgCfg, HostCPU, opts),
+			"host/file_executable": r.Run(exeCfg, HostCPU, opts),
+			"accel":                r.Run(exeCfg, SNICAccel, opts),
+		}}
+		points = append(points, p)
+	}
+	return points
+}
+
+// DefaultFig5Rates spans the figure's x-axis up to just below line rate.
+func DefaultFig5Rates() []float64 {
+	return []float64{5, 10, 15, 20, 25, 30, 35, 40, 45, 50, 55, 60, 65, 70, 75, 80, 85, 90, 95}
+}
+
+// ---- Fig. 7 / Table 4: hyperscaler trace replay ----
+
+// TraceReplayResult is one platform's Table 4 row.
+type TraceReplayResult struct {
+	Platform    Platform
+	AvgTputGbps float64
+	P99         sim.Duration
+	AvgPowerW   float64
+	Dropped     uint64
+}
+
+func (t TraceReplayResult) String() string {
+	return fmt.Sprintf("%-10s  %.2f Gb/s  p99 %v  %.1f W",
+		t.Platform, t.AvgTputGbps, t.P99, t.AvgPowerW)
+}
+
+// Table4Config carries the §5.1 replay parameters.
+type Table4Config struct {
+	Trace *trace.HyperscalerTrace
+	// IntervalCompress shortens each trace interval for simulation;
+	// rates are untouched, so averages and tails are preserved.
+	IntervalCompress sim.Duration
+	// HostCores: the host needs only two polling cores at trace rates
+	// (this is what puts the measured host power at Table 4's ~278 W
+	// rather than the 8-core figure).
+	HostCores int
+	Seed      uint64
+}
+
+// DefaultTable4Config mirrors §5.1: MTU packets, file_executable rules,
+// the Fig. 7 trace, host vs SNIC accelerator.
+func DefaultTable4Config() Table4Config {
+	return Table4Config{
+		Trace:            trace.NewHyperscalerTrace(trace.DefaultHyperscalerConfig()),
+		IntervalCompress: 400 * sim.Microsecond,
+		HostCores:        2,
+		Seed:             0x7ab1e4,
+	}
+}
+
+// Table4 replays the trace through REM on the host CPU and on the SNIC
+// accelerator and reports the table's three rows of numbers.
+func (r *Runner) Table4(tc Table4Config) []TraceReplayResult {
+	cfg := remMTU(trace.RuleSetExecutable)
+	out := []TraceReplayResult{}
+	for _, plat := range []Platform{HostCPU, SNICAccel} {
+		c := *cfg
+		if plat == HostCPU && tc.HostCores > 0 {
+			c.HostCores = tc.HostCores
+		}
+		out = append(out, r.ReplayTrace(&c, plat, tc.Trace.Compress(tc.IntervalCompress), tc.Seed))
+	}
+	return out
+}
+
+// ReplayTrace drives a net-served config with the trace's time-varying
+// packet rate and measures the paper's Table 4 metrics.
+func (r *Runner) ReplayTrace(cfg *Config, plat Platform, tr *trace.HyperscalerTrace, seed uint64) TraceReplayResult {
+	tbc := r.TBConfig
+	tbc.Seed ^= seed
+	if cfg.HostCores > 0 {
+		tbc.HostCores = cfg.HostCores
+	}
+	if cfg.SNICCores > 0 {
+		tbc.SNICCores = cfg.SNICCores
+	}
+	tb := NewTestbed(tbc)
+	ctx := &runctx{
+		tb: tb, cfg: cfg, plat: plat,
+		opts:     RunOpts{Requests: 1 << 62, Seed: seed}, // trace decides the end
+		prof:     netstack.ByKind(cfg.Stack),
+		arrivals: trace.NewPoissonArrivals(seed ^ 0xabcdef),
+		jit:      sim.NewRNG(seed ^ 0x1234),
+		hist:     stats.NewHistogram(),
+		warmupN:  1, // no warmup: the whole trace is the measurement
+	}
+	ctx.sizes = trace.Fixed(cfg.ReqSize)
+	ctx.pool = tb.PoolFor(plat)
+	ctx.pool.JitterSigma = 0
+	ctx.pool.SetQueueCapacity(4096)
+	ctx.ep = netstack.NewEndpoint(tb.Eng, ctx.prof, ctx.pool, seed^0x77)
+
+	switch plat {
+	case HostCPU:
+		tb.ActivateSNICPools(0, 0)
+		tb.SetPolling(HostCPU, true)
+		tb.SetHostTrafficShare(1)
+	case SNICCPU:
+		tb.ActivateSNICPools(1, 0)
+		tb.SetPolling(SNICCPU, true)
+		tb.SetHostTrafficShare(0)
+	case SNICAccel:
+		tb.ActivateSNICPools(0, 1)
+		tb.SetPolling(SNICCPU, true)
+		tb.SetHostTrafficShare(0)
+	}
+
+	dest := nic.ToHostCPU
+	switch plat {
+	case SNICCPU:
+		dest = nic.ToSNICCPU
+	case SNICAccel:
+		dest = nic.ToAccelerator
+	}
+	tb.Sw.Program(func(*nic.Packet) nic.Destination { return dest })
+	tb.Sw.Connect(nic.ToHostCPU, ctx.cpuSink)
+	tb.Sw.Connect(nic.ToSNICCPU, ctx.cpuSink)
+	tb.Sw.Connect(nic.ToAccelerator, ctx.accelSink)
+
+	eng := tb.Eng
+	interval := tr.Interval
+	var runInterval func(i int)
+	runInterval = func(i int) {
+		if i >= len(tr.RatesGbps) {
+			ctx.lastSend = eng.Now()
+			return
+		}
+		rate := tr.RatesGbps[i]
+		end := eng.Now().Add(interval)
+		var submit func()
+		submit = func() {
+			if eng.Now() >= end {
+				runInterval(i + 1)
+				return
+			}
+			if rate > 0 {
+				ctx.sent++
+				size := ctx.sizes.Next(ctx.jit)
+				pkt := &nic.Packet{Seq: uint64(ctx.sent), Size: size, SentAt: eng.Now()}
+				tb.Wire.SendToServer(pkt, tb.Sw.Ingress)
+				eng.After(ctx.arrivals.Gap(size, rate*1e9), submit)
+			} else {
+				eng.At(end, submit)
+			}
+		}
+		submit()
+	}
+	eng.At(0, func() { runInterval(0) })
+	eng.Run()
+	ctx.finishEngineUtil()
+
+	res := TraceReplayResult{Platform: plat, P99: ctx.hist.P99(), Dropped: ctx.pool.Dropped()}
+	if ctx.meter != nil {
+		ctx.meter.Close(ctx.lastSend)
+		res.AvgTputGbps = ctx.meter.Gbps()
+	}
+	res.AvgPowerW = float64(tb.Power.Server.Power())
+	return res
+}

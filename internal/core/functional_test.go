@@ -1,0 +1,85 @@
+package core
+
+import "testing"
+
+// TestFunctionalAllBenchmarks drives every catalog function's REAL
+// implementation over generated inputs and demands zero oracle failures
+// — the execution-driven correctness half of the testbed.
+func TestFunctionalAllBenchmarks(t *testing.T) {
+	cases := []struct {
+		fn, variant string
+		n           int
+	}{
+		{"snort", "file_image", 2000},
+		{"snort", "file_executable", 2000},
+		{"rem", "file_flash", 2000},
+		{"nat", "10K", 3000},
+		{"bm25", "100docs", 300},
+		{"redis", "workload_a", 3000},
+		{"redis", "workload_c", 3000},
+		{"mica", "batch4", 500},
+		{"mica", "batch32", 200},
+		{"crypto", "aes", 200},
+		{"crypto", "sha1", 500},
+		{"crypto", "rsa", 10},
+		{"compress", "app", 5},
+		{"compress", "txt", 5},
+		{"ovs", "load100", 5000},
+		{"fio", "write", 500},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.fn+"/"+tc.variant, func(t *testing.T) {
+			t.Parallel()
+			rep, err := RunFunctional(tc.fn, tc.variant, tc.n, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Processed < 1 {
+				t.Fatal("nothing processed")
+			}
+			if rep.Failures != 0 {
+				t.Fatalf("%d oracle failures: %v", rep.Failures, rep)
+			}
+			if rep.Verified == 0 {
+				t.Fatal("nothing verified against an oracle")
+			}
+		})
+	}
+}
+
+func TestFunctionalUnknownFunction(t *testing.T) {
+	if _, err := RunFunctional("bogus", "x", 10, 1); err == nil {
+		t.Fatal("unknown function accepted")
+	}
+	if _, err := RunFunctional("crypto", "bogus", 10, 1); err == nil {
+		t.Fatal("unknown crypto variant accepted")
+	}
+	if _, err := RunFunctional("nat", "10K", 0, 1); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}
+
+func TestFunctionalDeterministic(t *testing.T) {
+	a, err := RunFunctional("snort", "file_flash", 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := RunFunctional("snort", "file_flash", 1000, 7)
+	if a != b {
+		t.Fatalf("functional runs differ: %v vs %v", a, b)
+	}
+}
+
+func TestFunctionalNAT1MEntries(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 1M-entry table")
+	}
+	rep, err := RunFunctional("nat", "1M", 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("failures on 1M-entry table: %v", rep)
+	}
+}

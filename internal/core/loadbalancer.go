@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netstack"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// LoadBalancer implements Strategy 3 of §5.3: split ingress packets
+// between the SNIC accelerator and the host CPU based on monitored
+// accelerator pressure, so that low-rate periods enjoy the SNIC's energy
+// efficiency while bursts spill to the host before the SLO breaks.
+//
+// The paper's preliminary finding is also modelled: a *software* balancer
+// on the SNIC CPU "consumes most of the SNIC CPU cycles simply to monitor
+// packets at high rates and it cannot redirect packets fast enough".
+// With HWAssist=false every packet pays a monitoring cost on the SNIC
+// cores and redirection reacts at a coarse interval; with HWAssist=true
+// (the paper's proposed future mechanism) monitoring is free and
+// redirection is per-packet.
+type LoadBalancer struct {
+	// SpillQueueThreshold is the accelerator backlog (staged + queued
+	// tasks) above which packets divert to the host.
+	SpillQueueThreshold int
+	// MonitorCycles is the per-packet SNIC CPU cost of the software
+	// monitor (HWAssist=false only).
+	MonitorCycles float64
+	// HWAssist marks the hypothetical hardware balancer.
+	HWAssist bool
+	// ReactInterval is how often the software balancer refreshes its
+	// view of accelerator pressure; the hardware one sees it instantly.
+	ReactInterval sim.Duration
+}
+
+// DefaultLoadBalancer returns the software balancer the paper prototyped.
+func DefaultLoadBalancer() LoadBalancer {
+	return LoadBalancer{
+		SpillQueueThreshold: 96,
+		MonitorCycles:       420,
+		HWAssist:            false,
+		ReactInterval:       100 * sim.Microsecond,
+	}
+}
+
+// HWLoadBalancer returns the proposed hardware-assisted balancer.
+func HWLoadBalancer() LoadBalancer {
+	return LoadBalancer{SpillQueueThreshold: 96, HWAssist: true}
+}
+
+// BalancedResult reports a balanced trace replay.
+type BalancedResult struct {
+	Balancer    LoadBalancer
+	AvgTputGbps float64
+	P99         sim.Duration
+	AvgPowerW   float64
+	// HostShare is the fraction of packets served by the host CPU.
+	HostShare float64
+	// SNICCPUUtil shows the monitoring burden on the SNIC cores.
+	SNICCPUUtil float64
+	Dropped     uint64
+}
+
+func (b BalancedResult) String() string {
+	return fmt.Sprintf("balanced(hw=%v): %.2f Gb/s, p99 %v, %.1f W, host share %.1f%%, snic util %.2f",
+		b.Balancer.HWAssist, b.AvgTputGbps, b.P99, b.AvgPowerW, b.HostShare*100, b.SNICCPUUtil)
+}
+
+// RunBalanced replays a rate trace of MTU REM packets through the
+// balancer: packets steer to the SNIC accelerator until its backlog
+// crosses the threshold, then spill to the host CPU pool.
+func (r *Runner) RunBalanced(lb LoadBalancer, tr *trace.HyperscalerTrace, hostCores int, seed uint64) BalancedResult {
+	cfg := remMTU(trace.RuleSetExecutable)
+	tbc := r.TBConfig
+	tbc.Seed ^= seed
+	if hostCores > 0 {
+		tbc.HostCores = hostCores
+	}
+	tb := NewTestbed(tbc)
+
+	eng := tb.Eng
+	jit := sim.NewRNG(seed ^ 0x1234)
+	arrivals := trace.NewPoissonArrivals(seed ^ 0xabcdef)
+	hist := stats.NewHistogram()
+	meter := stats.NewMeter(0)
+
+	hostPool := tb.HostPool
+	hostPool.JitterSigma = 0
+	hostPool.SetQueueCapacity(4096)
+	staging := tb.StagingPool
+	staging.JitterSigma = 0
+	staging.SetQueueCapacity(4096)
+
+	// Both sides are powered and ready: this is exactly the paper's
+	// point that reserved host cores cannot sleep (Key Observation 3).
+	tb.ActivateSNICPools(0, 1)
+	tb.SetPolling(SNICCPU, true)
+	tb.SetPolling(HostCPU, true)
+
+	hostProf := netstack.ByKind(netstack.KindDPDK)
+	hostSpec := tb.HostSpec
+	snicSpec := tb.SNICSpec
+
+	var hostServed, snicServed, total uint64
+
+	// backlogView is what the balancer believes the accelerator backlog
+	// is; the software balancer refreshes it every ReactInterval.
+	backlog := func() int { return staging.QueueLen() + tb.REM.QueueLen()*16 }
+	backlogView := 0
+	if !lb.HWAssist {
+		var refresh func()
+		refresh = func() {
+			backlogView = backlog()
+			eng.After(lb.ReactInterval, refresh)
+		}
+		eng.At(0, refresh)
+	}
+
+	record := func(sentAt sim.Time) {
+		hist.Record(eng.Now().Sub(sentAt))
+		meter.Mark(eng.Now(), nicMTU)
+	}
+
+	serveHost := func(pkt *nic.Packet) {
+		hostServed++
+		cycles := hostProf.RxCycles(hostSpec.Arch, pkt.Size) +
+			hostProf.TxCycles(hostSpec.Arch, 32) +
+			cfg.HostBaseCycles + cfg.HostPerByteCycles*float64(pkt.Size)
+		svc := jit.LogNormalDur(sim.Cycles(cycles/hostSpec.IPC, hostSpec.BaseHz), cfg.HostSigma)
+		hostPool.ExecDuration(svc, func(_, _ sim.Time) { record(pkt.SentAt) })
+	}
+	serveAccel := func(pkt *nic.Packet) {
+		snicServed++
+		stage := hostProf.RxCycles(snicSpec.Arch, pkt.Size) + 340 + 0.02*float64(pkt.Size)
+		if !lb.HWAssist {
+			stage += lb.MonitorCycles
+		}
+		svc := jit.LogNormalDur(sim.Cycles(stage/snicSpec.IPC, snicSpec.BaseHz), 0.15)
+		staging.ExecDuration(svc, func(_, _ sim.Time) {
+			tb.REM.Submit(pkt.Size, func(_, _ sim.Time) { record(pkt.SentAt) })
+		})
+	}
+
+	tb.Sw.Program(func(p *nic.Packet) nic.Destination {
+		bl := backlogView
+		if lb.HWAssist {
+			bl = backlog()
+		}
+		if bl > lb.SpillQueueThreshold {
+			return nic.ToHostCPU
+		}
+		return nic.ToAccelerator
+	})
+	tb.Sw.Connect(nic.ToHostCPU, serveHost)
+	tb.Sw.Connect(nic.ToAccelerator, serveAccel)
+
+	// Host-share of traffic for the power model's io-traffic term is
+	// finalized after the run.
+	var lastSend sim.Time
+	interval := tr.Interval
+	var runInterval func(i int)
+	runInterval = func(i int) {
+		if i >= len(tr.RatesGbps) {
+			lastSend = eng.Now()
+			return
+		}
+		rate := tr.RatesGbps[i]
+		end := eng.Now().Add(interval)
+		var submit func()
+		submit = func() {
+			if eng.Now() >= end {
+				runInterval(i + 1)
+				return
+			}
+			if rate > 0 {
+				total++
+				pkt := &nic.Packet{Size: nicMTU, SentAt: eng.Now()}
+				tb.Wire.SendToServer(pkt, tb.Sw.Ingress)
+				eng.After(arrivals.Gap(nicMTU, rate*1e9), submit)
+			} else {
+				eng.At(end, submit)
+			}
+		}
+		submit()
+	}
+	eng.At(0, func() { runInterval(0) })
+	// The software monitor reschedules itself indefinitely, so run to a
+	// horizon (trace span plus a generous drain) rather than to drain.
+	horizon := sim.Time(tr.Duration()) + sim.Time(200*sim.Millisecond)
+	eng.RunUntil(horizon)
+
+	res := BalancedResult{Balancer: lb, P99: hist.P99(), Dropped: hostPool.Dropped() + staging.Dropped()}
+	if total > 0 {
+		res.HostShare = float64(hostServed) / float64(total)
+	}
+	tb.SetHostTrafficShare(res.HostShare)
+	tb.SetEngineUtil(tb.REM.Utilization())
+	meter.Close(lastSend)
+	res.AvgTputGbps = meter.Gbps()
+	res.AvgPowerW = float64(tb.Power.Server.Power())
+	res.SNICCPUUtil = staging.Utilization()
+	return res
+}
+
+// BurstyTrace builds a short trace that mostly idles at a low rate with
+// bursts exceeding the accelerator's ~50 Gb/s capability — the workload
+// where a balancer matters.
+func BurstyTrace(baseGbps, burstGbps float64, points int, burstEvery int, interval sim.Duration) *trace.HyperscalerTrace {
+	rates := make([]float64, points)
+	for i := range rates {
+		if burstEvery > 0 && i%burstEvery == burstEvery-1 {
+			rates[i] = burstGbps
+		} else {
+			rates[i] = baseGbps
+		}
+	}
+	return &trace.HyperscalerTrace{Interval: interval, RatesGbps: rates}
+}

@@ -1,0 +1,724 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/accel"
+	"repro/internal/cpu"
+	"repro/internal/netstack"
+	"repro/internal/nic"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Measurement is one (function, variant, platform) result — a cell of
+// Fig. 4/Fig. 6, or one operating point of Fig. 5.
+type Measurement struct {
+	Function string
+	Variant  string
+	Platform Platform
+
+	OfferedGbps   float64
+	Ops           uint64
+	TputOps       float64 // operations per second
+	TputGbps      float64 // payload data rate
+	DeliveredFrac float64 // completions / offered within the window
+	Latency       stats.Summary
+
+	ServerPowerW float64 // BMC-domain average (includes SNIC)
+	SNICPowerW   float64 // Yocto-Watt-domain average
+	// EffOpsPerJoule and EffBitsPerJoule are system-wide energy
+	// efficiencies (throughput over server power).
+	EffOpsPerJoule  float64
+	EffBitsPerJoule float64
+
+	HostUtil, SNICUtil, EngineUtil float64
+}
+
+func (m Measurement) String() string {
+	return fmt.Sprintf("%s/%s on %s: %.3f Gb/s (%.0f ops/s), p99 %v, server %.1f W",
+		m.Function, m.Variant, m.Platform, m.TputGbps, m.TputOps, m.Latency.P99, m.ServerPowerW)
+}
+
+// RunOpts controls one simulation run.
+type RunOpts struct {
+	// OfferedGbps is the open-loop request payload rate (ignored by
+	// closed-loop modes).
+	OfferedGbps float64
+	// Requests is how many requests the client issues (open loop) or
+	// how many operations complete before the run ends (closed loop).
+	Requests int
+	// WarmupFrac of early completions are excluded from statistics.
+	WarmupFrac float64
+	// Seed perturbs the run's random streams.
+	Seed uint64
+}
+
+// DefaultRunOpts returns measurement-grade settings.
+func DefaultRunOpts() RunOpts {
+	return RunOpts{Requests: 24000, WarmupFrac: 0.15, Seed: 7}
+}
+
+// probeOpts returns quick settings for capacity probing.
+func probeOpts(seed uint64) RunOpts {
+	return RunOpts{Requests: 6000, WarmupFrac: 0.2, Seed: seed}
+}
+
+// Runner executes catalog entries on platforms.
+type Runner struct {
+	// Testbed configuration template.
+	TBConfig TestbedConfig
+}
+
+// NewRunner returns a runner with the default testbed.
+func NewRunner() *Runner { return &Runner{TBConfig: DefaultTestbedConfig()} }
+
+// runctx is the per-run wiring.
+type runctx struct {
+	tb   *Testbed
+	cfg  *Config
+	plat Platform
+	opts RunOpts
+
+	prof     netstack.Profile
+	pool     *cpu.Pool
+	ep       *netstack.Endpoint
+	arrivals *trace.Arrivals
+	sizes    trace.SizeDist
+	jit      *sim.RNG
+
+	hist    *stats.Histogram
+	meter   *stats.Meter
+	sent    int
+	done    int
+	warmupN int
+
+	reqBytesSent uint64
+	// lastSend closes the measurement window: counting completions that
+	// straggle in during the post-send drain would understate overload
+	// (the drain stretches the window) and hide saturation.
+	lastSend sim.Time
+}
+
+// noteSent records a request issue; at the final request it arranges the
+// meter to close, truncating the window at the end of offered load.
+func (ctx *runctx) noteSent() {
+	ctx.sent++
+	if ctx.sent == ctx.opts.Requests {
+		ctx.lastSend = ctx.tb.Eng.Now()
+	}
+}
+
+// Run simulates cfg on platform at the given operating point and returns
+// the measurement.
+func (r *Runner) Run(cfg *Config, plat Platform, opts RunOpts) Measurement {
+	if !cfg.HasPlatform(plat) {
+		panic(fmt.Sprintf("core: %s does not run on %s", cfg.Name(), plat))
+	}
+	tbc := r.TBConfig
+	tbc.Seed ^= opts.Seed * 0x9e3779b97f4a7c15
+	if cfg.HostCores > 0 {
+		tbc.HostCores = cfg.HostCores
+	}
+	if cfg.SNICCores > 0 {
+		tbc.SNICCores = cfg.SNICCores
+	}
+	tb := NewTestbed(tbc)
+
+	ctx := &runctx{
+		tb: tb, cfg: cfg, plat: plat, opts: opts,
+		prof:     netstack.ByKind(cfg.Stack),
+		arrivals: trace.NewPoissonArrivals(opts.Seed ^ 0xabcdef),
+		jit:      sim.NewRNG(opts.Seed ^ 0x1234),
+		hist:     stats.NewHistogram(),
+		warmupN:  int(float64(opts.Requests) * opts.WarmupFrac),
+	}
+	if cfg.Mixed {
+		ctx.sizes = trace.CTUMixed()
+	} else {
+		ctx.sizes = trace.Fixed(cfg.ReqSize)
+	}
+	ctx.pool = tb.PoolFor(plat)
+	ctx.pool.JitterSigma = 0 // the runner applies jitter itself
+	ctx.pool.SetQueueCapacity(4096)
+	ctx.ep = netstack.NewEndpoint(tb.Eng, ctx.prof, ctx.pool, opts.Seed^0x77)
+
+	// Power bookkeeping: which pools are live, poll-mode pinning, and
+	// whether traffic crosses into host memory.
+	switch plat {
+	case HostCPU:
+		tb.ActivateSNICPools(0, 0)
+		tb.SetPolling(HostCPU, cfg.Stack == netstack.KindDPDK && cfg.Mode != ModeSwitched)
+		tb.SetHostTrafficShare(1)
+		if cfg.Mode == ModeSwitched {
+			// OvS host case: the eSwitch forwards in hardware but the
+			// megaflow/upcall path still DMAs samples into host memory.
+			tb.SetHostTrafficShare(1)
+		}
+	case SNICCPU:
+		tb.ActivateSNICPools(1, 0)
+		tb.SetPolling(SNICCPU, cfg.Stack == netstack.KindDPDK && cfg.Mode != ModeSwitched)
+		tb.SetHostTrafficShare(0)
+	case SNICAccel:
+		tb.ActivateSNICPools(0, 1)
+		tb.SetPolling(SNICCPU, true) // staging cores poll DPDK / feed engines
+		tb.SetHostTrafficShare(0)
+	}
+
+	switch cfg.Mode {
+	case ModeNetServe:
+		ctx.runNetServe()
+	case ModeLocal:
+		ctx.runLocal()
+	case ModeStorage:
+		ctx.runStorage()
+	case ModeSwitched:
+		ctx.runSwitched()
+	default:
+		panic(fmt.Sprintf("core: unknown mode %q", cfg.Mode))
+	}
+	return ctx.measurement()
+}
+
+// appCycles returns the application cycle cost for a request of size
+// bytes on the current platform.
+func (ctx *runctx) appCycles(size int) float64 {
+	c := ctx.cfg.HostBaseCycles + ctx.cfg.HostPerByteCycles*float64(size)
+	if ctx.plat != HostCPU {
+		c *= ctx.cfg.SNICFactor
+	}
+	if ctx.cfg.Mixed && ctx.plat == HostCPU {
+		// Real-trace payloads cost the software scanner extra match
+		// verification (see Config.MixedExtraCycles).
+		c += ctx.cfg.MixedExtraCycles
+	}
+	return c
+}
+
+// svcTime composes stack + application cycles into a jittered service
+// time with the platform's memory penalty applied.
+func (ctx *runctx) svcTime(reqSize, respSize int) sim.Duration {
+	spec := ctx.tb.SpecFor(ctx.plat)
+	cycles := ctx.prof.RxCycles(spec.Arch, reqSize) +
+		ctx.prof.TxCycles(spec.Arch, respSize) +
+		ctx.appCycles(reqSize)
+	base := sim.Cycles(cycles/spec.IPC, spec.BaseHz)
+	ws := ctx.cfg.WorkingSetHost
+	if ctx.plat != HostCPU {
+		ws = ctx.cfg.WorkingSetSNIC
+	}
+	pen := ctx.tb.MemFor(ctx.plat).Penalty(ctx.cfg.MemIntensity, ws, ctx.tb.SpecFor(ctx.plat).L3Bytes)
+	base = sim.Duration(float64(base) * pen)
+	sigma := ctx.cfg.HostSigma
+	if ctx.plat != HostCPU {
+		sigma = ctx.cfg.SNICSigma
+	}
+	if sigma == 0 {
+		sigma = 0.20
+	}
+	return ctx.jit.LogNormalDur(base, sigma)
+}
+
+// extraLatency returns the per-platform calibrated fixed residual.
+func (ctx *runctx) extraLatency() sim.Duration {
+	if ctx.cfg.ExtraLatency == nil {
+		return 0
+	}
+	return ctx.cfg.ExtraLatency[ctx.plat]
+}
+
+// record tallies one completed operation.
+func (ctx *runctx) record(rtt sim.Duration, bytes int) {
+	ctx.done++
+	if ctx.done == ctx.warmupN {
+		ctx.meter = stats.NewMeter(ctx.tb.Eng.Now())
+		return
+	}
+	if ctx.done < ctx.warmupN || ctx.meter == nil {
+		return
+	}
+	ctx.hist.Record(rtt)
+	// Completions that straggle in after the offered load ended are
+	// drain artifacts: they belong in the latency distribution but not
+	// in the throughput window.
+	if ctx.lastSend > 0 && ctx.tb.Eng.Now() > ctx.lastSend {
+		return
+	}
+	ctx.meter.Mark(ctx.tb.Eng.Now(), bytes)
+}
+
+// ---- ModeNetServe ----
+
+func (ctx *runctx) runNetServe() {
+	eng := ctx.tb.Eng
+	dest := nic.ToHostCPU
+	switch ctx.plat {
+	case SNICCPU:
+		dest = nic.ToSNICCPU
+	case SNICAccel:
+		dest = nic.ToAccelerator
+	}
+	ctx.tb.Sw.Program(func(*nic.Packet) nic.Destination { return dest })
+
+	ctx.tb.Sw.Connect(nic.ToHostCPU, ctx.cpuSink)
+	ctx.tb.Sw.Connect(nic.ToSNICCPU, ctx.cpuSink)
+	ctx.tb.Sw.Connect(nic.ToAccelerator, ctx.accelSink)
+
+	var submit func()
+	submit = func() {
+		if ctx.sent >= ctx.opts.Requests {
+			return
+		}
+		ctx.noteSent()
+		size := ctx.sizes.Next(ctx.jit)
+		pkt := &nic.Packet{Seq: uint64(ctx.sent), Size: size, SentAt: eng.Now()}
+		ctx.reqBytesSent += uint64(size)
+		ctx.tb.Wire.SendToServer(pkt, ctx.tb.Sw.Ingress)
+		eng.After(ctx.arrivals.Gap(size, ctx.opts.OfferedGbps*1e9), submit)
+	}
+	eng.At(0, submit)
+	eng.Run()
+	ctx.finishEngineUtil()
+}
+
+// cpuSink serves a packet on the platform's core pool (run to
+// completion: stack RX + application + stack TX on one core).
+func (ctx *runctx) cpuSink(pkt *nic.Packet) {
+	eng := ctx.tb.Eng
+	respSize := ctx.cfg.RespSize
+	svc := ctx.svcTime(pkt.Size, respSize)
+	inFixed := ctx.ep.FixedDelay() + ctx.extraLatency()
+	eng.After(inFixed, func() {
+		ctx.pool.ExecDuration(svc, func(_, _ sim.Time) {
+			eng.After(ctx.ep.FixedDelay(), func() {
+				resp := &nic.Packet{Seq: pkt.Seq, Size: respSize, SentAt: pkt.SentAt}
+				ctx.tb.Wire.SendToClient(resp, func(p *nic.Packet) {
+					ctx.record(eng.Now().Sub(p.SentAt), pkt.Size)
+				})
+			})
+		})
+	})
+}
+
+// accelSink routes a packet through the staging cores into the bound
+// engine (the DOCA path of §2.2). The staging cost charged up front
+// includes the result pickup work (~100 cycles), so completions ride a
+// small fixed delay rather than re-entering the staging queue — a
+// dropped RX must never be able to orphan a finished engine task.
+func (ctx *runctx) accelSink(pkt *nic.Packet) {
+	eng := ctx.tb.Eng
+	spec := ctx.tb.SNICSpec
+	stageCycles := (ctx.prof.RxCycles(spec.Arch, pkt.Size) +
+		accel.StagingCyclesPerTask + accel.StagingCyclesPerByte*float64(pkt.Size) + 100)
+	stageSvc := ctx.jit.LogNormalDur(sim.Cycles(stageCycles/spec.IPC, spec.BaseHz), 0.15)
+	ctx.pool.ExecDuration(stageSvc, func(_, _ sim.Time) {
+		ctx.engineSubmit(pkt.Size, func() {
+			eng.After(200*sim.Nanosecond, func() {
+				resp := &nic.Packet{Seq: pkt.Seq, Size: ctx.cfg.RespSize, SentAt: pkt.SentAt}
+				ctx.tb.Wire.SendToClient(resp, func(p *nic.Packet) {
+					ctx.record(eng.Now().Sub(p.SentAt), pkt.Size)
+				})
+			})
+		})
+	})
+}
+
+// engineSubmit dispatches one task to the config's engine.
+func (ctx *runctx) engineSubmit(size int, done func()) {
+	switch ctx.cfg.Engine {
+	case EngineREM:
+		ctx.tb.REM.Submit(size, func(_, _ sim.Time) { done() })
+	case EngineDeflate:
+		ctx.tb.Deflate.Submit(size, func(_, _ sim.Time) { done() })
+	case EnginePKABulk:
+		ctx.tb.PKA.SubmitBulk(ctx.cfg.PKAAlgo, size, func(_, _ sim.Time) { done() })
+	case EnginePKAOp:
+		ctx.tb.PKA.SubmitOp(ctx.cfg.PKAAlgo, func(_, _ sim.Time) { done() })
+	default:
+		panic(fmt.Sprintf("core: %s has no engine binding", ctx.cfg.Name()))
+	}
+}
+
+// finishEngineUtil snapshots engine utilization into the power signal.
+func (ctx *runctx) finishEngineUtil() {
+	var u float64
+	switch ctx.cfg.Engine {
+	case EngineREM:
+		u = ctx.tb.REM.Utilization()
+	case EngineDeflate:
+		u = ctx.tb.Deflate.Utilization()
+	case EnginePKABulk, EnginePKAOp:
+		u = ctx.tb.PKA.Utilization()
+	}
+	if ctx.plat == SNICAccel {
+		ctx.tb.SetEngineUtil(u)
+	}
+}
+
+// ---- ModeLocal (crypto, compression) ----
+
+func (ctx *runctx) runLocal() {
+	eng := ctx.tb.Eng
+	size := ctx.cfg.LocalOpBytes
+	var worker func()
+	worker = func() {
+		if ctx.sent >= ctx.opts.Requests {
+			return
+		}
+		ctx.sent++
+		start := eng.Now()
+		finish := func() {
+			ctx.record(eng.Now().Sub(start), size)
+			worker()
+		}
+		switch ctx.plat {
+		case HostCPU, SNICCPU:
+			ctx.pool.ExecDuration(ctx.localSvcTime(size), func(_, _ sim.Time) { finish() })
+		case SNICAccel:
+			// One staging core programs the engine's command registers.
+			spec := ctx.tb.SNICSpec
+			prep := sim.Cycles(400/spec.IPC, spec.BaseHz)
+			ctx.pool.ExecDuration(prep, func(_, _ sim.Time) {
+				ctx.engineSubmit(size, finish)
+			})
+		}
+	}
+	for i := 0; i < ctx.closedDepth(); i++ {
+		eng.At(0, worker)
+	}
+	eng.Run()
+	ctx.finishEngineUtil()
+}
+
+// closedDepth returns the closed-loop depth for the current platform.
+func (ctx *runctx) closedDepth() int {
+	d := ctx.cfg.Closed
+	if ctx.plat != HostCPU && ctx.cfg.ClosedSNIC > 0 {
+		d = ctx.cfg.ClosedSNIC
+	}
+	if d <= 0 {
+		d = 1
+	}
+	return d
+}
+
+// localSvcTime converts the config's ISA-path rates into per-op service
+// time on a CPU platform.
+func (ctx *runctx) localSvcTime(size int) sim.Duration {
+	var base sim.Duration
+	switch {
+	case ctx.cfg.HostRateOps > 0:
+		base = sim.Duration(float64(sim.Second) / ctx.cfg.HostRateOps)
+	case ctx.cfg.HostRateBits > 0:
+		base = sim.DurationOf(size, ctx.cfg.HostRateBits)
+	default:
+		panic(fmt.Sprintf("core: %s local mode needs a host rate", ctx.cfg.Name()))
+	}
+	if ctx.plat != HostCPU {
+		// The SNIC CPU lacks the ISA path entirely; it runs the portable
+		// implementation SNICFactor× slower after the IPC/frequency gap.
+		spec := ctx.tb.SNICSpec
+		host := ctx.tb.HostSpec
+		gap := (host.BaseHz * host.IPC) / (spec.BaseHz * spec.IPC)
+		base = sim.Duration(float64(base) * gap * ctx.cfg.SNICFactor)
+	}
+	return ctx.jit.LogNormalDur(base, 0.12)
+}
+
+// ---- ModeStorage (fio over NVMe-oF) ----
+
+// runStorage drives block I/O open-loop at the offered data rate: fio
+// keeps the configured iodepth outstanding, which against a RAMDisk
+// target behind the NVMe-oF offload engine keeps the wire, not the
+// round trip, the bottleneck.
+func (ctx *runctx) runStorage() {
+	eng := ctx.tb.Eng
+	const block = 64 << 10
+	deviceLat := 9 * sim.Microsecond
+	spec := ctx.tb.SpecFor(ctx.plat)
+
+	serveIO := func(start sim.Time) {
+		// Initiator CPU posts the command.
+		post := ctx.jit.LogNormalDur(
+			sim.Cycles(ctx.appCycles(ctx.cfg.ReqSize)/spec.IPC, spec.BaseHz), 0.15)
+		ctx.pool.ExecDuration(post, func(_, _ sim.Time) {
+			fixed := ctx.ep.FixedDelay() + ctx.extraLatency()
+			eng.After(fixed, func() {
+				// Command crosses the wire; the target's NVMe-oF offload
+				// engine serves it with no CPU, then the data block
+				// crosses back (read) or is written (write) — either way
+				// one 64 KB transfer occupies the wire.
+				cmd := &nic.Packet{Size: 96, SentAt: start}
+				ctx.tb.Wire.SendToClient(cmd, func(*nic.Packet) {
+					eng.After(deviceLat, func() {
+						data := &nic.Packet{Size: block, SentAt: start}
+						ctx.tb.Wire.SendToServer(data, func(p *nic.Packet) {
+							// Completion interrupt/poll on the initiator.
+							comp := sim.Cycles(600/spec.IPC, spec.BaseHz)
+							ctx.pool.ExecDuration(comp, func(_, _ sim.Time) {
+								ctx.record(eng.Now().Sub(p.SentAt), block)
+							})
+						})
+					})
+				})
+			})
+		})
+	}
+	var issue func()
+	issue = func() {
+		if ctx.sent >= ctx.opts.Requests {
+			return
+		}
+		ctx.noteSent()
+		serveIO(eng.Now())
+		eng.After(ctx.arrivals.Gap(block, ctx.opts.OfferedGbps*1e9), issue)
+	}
+	eng.At(0, issue)
+	eng.Run()
+}
+
+// ---- ModeSwitched (OvS) ----
+
+func (ctx *runctx) runSwitched() {
+	eng := ctx.tb.Eng
+	spec := ctx.tb.SpecFor(ctx.plat)
+	upcall := ctx.jit.Fork(5)
+
+	var submit func()
+	submit = func() {
+		if ctx.sent >= ctx.opts.Requests {
+			return
+		}
+		ctx.noteSent()
+		size := ctx.cfg.ReqSize
+		pkt := &nic.Packet{Size: size, SentAt: eng.Now()}
+		ctx.tb.Wire.SendToServer(pkt, func(p *nic.Packet) {
+			// Hardware datapath: eSwitch forwards at line rate.
+			eng.After(ctx.tb.Sw.SwitchDelay, func() {
+				resp := &nic.Packet{Size: size, SentAt: p.SentAt}
+				ctx.tb.Wire.SendToClient(resp, func(q *nic.Packet) {
+					ctx.record(eng.Now().Sub(q.SentAt), size)
+				})
+			})
+			// Control-plane upcall for cache-miss flows.
+			if upcall.Float64() < ctx.cfg.UpcallFrac {
+				c := ctx.appCycles(size)
+				ctx.pool.ExecDuration(sim.Cycles(c/spec.IPC, spec.BaseHz), nil)
+			}
+		})
+		eng.After(ctx.arrivals.Gap(size+nic.EthernetOverhead, ctx.opts.OfferedGbps*1e9), submit)
+	}
+	eng.At(0, submit)
+	eng.Run()
+}
+
+// ---- Results ----
+
+func (ctx *runctx) measurement() Measurement {
+	m := Measurement{
+		Function:    ctx.cfg.Function,
+		Variant:     ctx.cfg.Variant,
+		Platform:    ctx.plat,
+		OfferedGbps: ctx.opts.OfferedGbps,
+		Latency:     ctx.hist.Summarize(),
+		HostUtil:    ctx.tb.HostPool.Utilization(),
+		EngineUtil:  ctx.tb.engineUtil,
+	}
+	if ctx.plat == SNICAccel {
+		m.SNICUtil = ctx.tb.StagingPool.Utilization()
+	} else {
+		m.SNICUtil = ctx.tb.SNICPool.Utilization()
+	}
+	if ctx.meter != nil {
+		closeAt := ctx.tb.Eng.Now()
+		if ctx.lastSend > 0 && ctx.lastSend < closeAt {
+			closeAt = ctx.lastSend
+		}
+		ctx.meter.Close(closeAt)
+		m.Ops = ctx.meter.Ops()
+		m.TputOps = ctx.meter.OpsPerSec()
+		m.TputGbps = ctx.meter.Gbps()
+	}
+	if ctx.opts.OfferedGbps > 0 {
+		// Sustainability signal: achieved data rate over offered. In an
+		// overloaded open-loop run the drain tail stretches the meter
+		// window, so achieved ≈ service capacity < offered.
+		m.DeliveredFrac = m.TputGbps / ctx.opts.OfferedGbps
+	} else {
+		m.DeliveredFrac = 1
+	}
+	// Average power from the calibrated model over run-average
+	// utilizations (the signals are cumulative).
+	m.ServerPowerW = float64(ctx.tb.Power.Server.Power())
+	m.SNICPowerW = float64(ctx.tb.Power.SNIC.Power())
+	if m.ServerPowerW > 0 {
+		m.EffOpsPerJoule = m.TputOps / m.ServerPowerW
+		m.EffBitsPerJoule = m.TputGbps * 1e9 / m.ServerPowerW
+	}
+	return m
+}
+
+// ---- Max-throughput search ----
+
+// MaxThroughput finds the paper's operating point: the highest offered
+// rate the platform sustains (delivered ≈ offered), then measures
+// throughput, p99 and power there (§4: "We set the packet rate at which
+// we get the maximum throughput ... and then measure the p99 latency at
+// that rate").
+func (r *Runner) MaxThroughput(cfg *Config, plat Platform) Measurement {
+	if cfg.Mode == ModeLocal {
+		// Closed-loop mode self-saturates; no search needed.
+		return r.Run(cfg, plat, DefaultRunOpts())
+	}
+	if cfg.Mode == ModeSwitched {
+		// OvS runs at its configured load fraction of line rate.
+		load := 1.0
+		if cfg.Variant == "load10" {
+			load = 0.10
+		}
+		opts := DefaultRunOpts()
+		opts.OfferedGbps = load * 100 * float64(cfg.ReqSize) / float64(cfg.ReqSize+nic.EthernetOverhead)
+		return r.Run(cfg, plat, opts)
+	}
+
+	est := r.estimateCapacityGbps(cfg, plat)
+	// Baseline latency at light load defines the "reasonable p99" bound
+	// for the knee search (cf. Fig. 5: the host's REM throughput is
+	// quoted "when a reasonable p99 latency value is considered").
+	baseOpts := probeOpts(11)
+	baseOpts.OfferedGbps = est * 0.2
+	baseline := r.Run(cfg, plat, baseOpts)
+	p99Cap := sim.Duration(float64(baseline.Latency.P99) * cfg.kneeMult())
+
+	lo, hi := est*0.3, math.Min(est*1.9, 98)
+	if hi <= lo {
+		hi = lo * 1.5
+	}
+	best := lo
+	for i := 0; i < 9; i++ {
+		mid := (lo + hi) / 2
+		opts := probeOpts(uint64(100 + i))
+		opts.OfferedGbps = mid
+		probe := r.Run(cfg, plat, opts)
+		if probe.DeliveredFrac >= 0.97 && probe.Latency.P99 <= p99Cap {
+			best = mid
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	opts := DefaultRunOpts()
+	// Measure below the accepted knee: the longer measurement window
+	// would otherwise random-walk a borderline queue deeper than the
+	// short probes saw. Batching accelerators get extra headroom — their
+	// queues are in whole batches, so the walk is coarser.
+	margin := 0.97
+	if plat == SNICAccel {
+		margin = 0.93
+	}
+	opts.OfferedGbps = best * margin
+	return r.Run(cfg, plat, opts)
+}
+
+// kneeMult is the "reasonable p99" multiplier over light-load latency
+// that defines the maximum sustainable operating point.
+func (c *Config) kneeMult() float64 {
+	if c.KneeP99Mult > 0 {
+		return c.KneeP99Mult
+	}
+	return 3.0
+}
+
+// estimateCapacityGbps computes an analytic capacity seed for the search.
+func (r *Runner) estimateCapacityGbps(cfg *Config, plat Platform) float64 {
+	tbc := r.TBConfig
+	if cfg.HostCores > 0 {
+		tbc.HostCores = cfg.HostCores
+	}
+	if cfg.SNICCores > 0 {
+		tbc.SNICCores = cfg.SNICCores
+	}
+	tb := NewTestbed(tbc)
+	meanReq := cfg.ReqSize
+	if cfg.Mixed {
+		meanReq = int(trace.CTUMixed().Mean())
+	}
+	lineGbps := 100 * float64(meanReq) / float64(meanReq+nic.EthernetOverhead)
+	if cfg.Mode == ModeStorage {
+		// Block I/O saturates the wire with 64 KB transfers.
+		return 100 * 65536 / (65536 + 44*nic.EthernetOverhead)
+	}
+	if cfg.Mode == ModeLocal {
+		return r.estimateLocalGbps(tb, cfg, plat)
+	}
+
+	if plat == SNICAccel {
+		engineBits := r.engineRateBits(tb, cfg)
+		spec := tb.SNICSpec
+		stageCycles := netstack.ByKind(cfg.Stack).RxCycles(spec.Arch, meanReq) +
+			accel.StagingCyclesPerTask + accel.StagingCyclesPerByte*float64(meanReq) + 100
+		stageTime := sim.Cycles(stageCycles/spec.IPC, spec.BaseHz)
+		stageBits := float64(tb.StagingPool.Cores()) / stageTime.Seconds() * float64(meanReq) * 8
+		return math.Min(math.Min(engineBits, stageBits)/1e9, lineGbps)
+	}
+
+	app := cfg.HostBaseCycles + cfg.HostPerByteCycles*float64(meanReq)
+	pool := tb.PoolFor(plat)
+	spec := tb.SpecFor(plat)
+	prof := netstack.ByKind(cfg.Stack)
+	if plat != HostCPU {
+		app *= cfg.SNICFactor
+	} else if cfg.Mixed {
+		app += cfg.MixedExtraCycles
+	}
+	cycles := prof.RxCycles(spec.Arch, meanReq) + prof.TxCycles(spec.Arch, cfg.RespSize) + app
+	ws := cfg.WorkingSetHost
+	if plat != HostCPU {
+		ws = cfg.WorkingSetSNIC
+	}
+	pen := tb.MemFor(plat).Penalty(cfg.MemIntensity, ws, spec.L3Bytes)
+	t := sim.Duration(float64(sim.Cycles(cycles/spec.IPC, spec.BaseHz)) * pen)
+	opsPerSec := float64(pool.Cores()) / t.Seconds()
+	gbps := opsPerSec * float64(meanReq) * 8 / 1e9
+	return math.Min(gbps, lineGbps)
+}
+
+// engineRateBits returns the config's engine rate with a batching margin.
+func (r *Runner) engineRateBits(tb *Testbed, cfg *Config) float64 {
+	switch cfg.Engine {
+	case EngineREM:
+		return tb.REM.RateBits * 0.75
+	case EngineDeflate:
+		return tb.Deflate.RateBits * 0.9
+	case EnginePKABulk:
+		return tb.PKA.BulkRateBits[cfg.PKAAlgo] * 0.95
+	case EnginePKAOp:
+		return tb.PKA.OpRate[cfg.PKAAlgo] * float64(cfg.LocalOpBytes) * 8
+	default:
+		return 30e9
+	}
+}
+
+// estimateLocalGbps predicts closed-loop local throughput from the
+// rate-based model (the crypto/compression entries).
+func (r *Runner) estimateLocalGbps(tb *Testbed, cfg *Config, plat Platform) float64 {
+	switch plat {
+	case SNICAccel:
+		return r.engineRateBits(tb, cfg) / 1e9
+	case HostCPU:
+		if cfg.HostRateOps > 0 {
+			return cfg.HostRateOps * float64(cfg.LocalOpBytes) * 8 / 1e9
+		}
+		return cfg.HostRateBits / 1e9
+	default:
+		host, snic := tb.HostSpec, tb.SNICSpec
+		gap := (host.BaseHz * host.IPC) / (snic.BaseHz * snic.IPC)
+		base := cfg.HostRateBits
+		if cfg.HostRateOps > 0 {
+			base = cfg.HostRateOps * float64(cfg.LocalOpBytes) * 8
+		}
+		return base / gap / cfg.SNICFactor / 1e9
+	}
+}

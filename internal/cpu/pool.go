@@ -1,0 +1,139 @@
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Governor selects the frequency-scaling policy of a core pool, mirroring
+// the Linux cpufreq governors the paper uses (§3.1): "userspace" pins the
+// maximum sustained frequency for performance runs; "ondemand" tracks load
+// so an idle host CPU draws less power while the SNIC serves traffic.
+type Governor int
+
+const (
+	// GovernorUserspace pins BaseHz.
+	GovernorUserspace Governor = iota
+	// GovernorOndemand runs at BaseHz under load and sinks toward MinHz
+	// when idle. In this virtual-time model the distinction matters for
+	// power (package power follows frequency), not for service times —
+	// ondemand ramps up before serving work, as the real governor does at
+	// our packet rates.
+	GovernorOndemand
+)
+
+func (g Governor) String() string {
+	switch g {
+	case GovernorUserspace:
+		return "userspace"
+	case GovernorOndemand:
+		return "ondemand"
+	default:
+		return fmt.Sprintf("governor(%d)", int(g))
+	}
+}
+
+// Pool is a set of CPU cores available to one execution platform. It wraps
+// a sim.Station whose servers are cores; work is expressed in cycles and
+// converted to time at the pool's operating frequency.
+type Pool struct {
+	Spec     *Spec
+	eng      *sim.Engine
+	station  *sim.Station
+	cores    int
+	governor Governor
+	jitter   *sim.RNG
+	// JitterSigma is the log-normal sigma applied to each job's service
+	// time. Real per-packet service times wobble with cache state and
+	// branch behaviour; this is what gives latency distributions a tail.
+	JitterSigma float64
+}
+
+// NewPool returns a pool of n cores of the given spec. n must not exceed
+// the spec's core count. The paper uses 8 host cores to match the SNIC.
+func NewPool(eng *sim.Engine, spec *Spec, n int, seed uint64) *Pool {
+	if n <= 0 || n > spec.Cores {
+		panic(fmt.Sprintf("cpu: pool of %d cores out of range for %s", n, spec.Name))
+	}
+	return &Pool{
+		Spec:        spec,
+		eng:         eng,
+		station:     sim.NewStation(eng, n),
+		cores:       n,
+		governor:    GovernorUserspace,
+		jitter:      sim.NewRNG(seed),
+		JitterSigma: 0.18,
+	}
+}
+
+// Cores returns the number of cores in the pool.
+func (p *Pool) Cores() int { return p.cores }
+
+// SetGovernor selects the frequency-scaling policy.
+func (p *Pool) SetGovernor(g Governor) { p.governor = g }
+
+// Governor returns the current policy.
+func (p *Pool) Governor() Governor { return p.governor }
+
+// FreqHz returns the operating frequency for active work. Both governors
+// serve work at BaseHz (ondemand ramps before work lands at our rates);
+// they differ in idle power, reported by IdleFraction.
+func (p *Pool) FreqHz() float64 { return p.Spec.BaseHz }
+
+// IdleFreqHz returns the frequency an idle core sits at, which the power
+// model maps to idle package power.
+func (p *Pool) IdleFreqHz() float64 {
+	if p.governor == GovernorOndemand {
+		return p.Spec.MinHz
+	}
+	return p.Spec.BaseHz
+}
+
+// ServiceTime converts a cycle cost on this pool into a duration,
+// accounting for the spec's relative IPC. Use ExecCycles to actually
+// occupy a core.
+func (p *Pool) ServiceTime(cycles float64) sim.Duration {
+	if cycles < 0 {
+		panic("cpu: negative cycle cost")
+	}
+	effective := cycles / p.Spec.IPC
+	return sim.Cycles(effective, p.FreqHz())
+}
+
+// ExecCycles schedules a job costing the given cycles on the next free
+// core, applying service-time jitter, and calls done when it retires.
+// It reports false if the job was shed at an internal queue limit
+// (none by default).
+func (p *Pool) ExecCycles(cycles float64, done func(start, end sim.Time)) bool {
+	svc := p.ServiceTime(cycles)
+	if p.JitterSigma > 0 {
+		svc = p.jitter.LogNormalDur(svc, p.JitterSigma)
+	}
+	return p.station.Submit(&sim.Job{Service: svc, Done: done})
+}
+
+// ExecDuration schedules a job with an explicit pre-computed service time
+// (already jittered or deliberately deterministic).
+func (p *Pool) ExecDuration(svc sim.Duration, done func(start, end sim.Time)) bool {
+	return p.station.Submit(&sim.Job{Service: svc, Done: done})
+}
+
+// SetQueueCapacity bounds the pool's run queue; zero means unbounded.
+// Bounding it models NIC RX ring overrun shedding work before the cores.
+func (p *Pool) SetQueueCapacity(n int) { p.station.Capacity = n }
+
+// Utilization returns mean busy fraction across cores.
+func (p *Pool) Utilization() float64 { return p.station.Utilization() }
+
+// QueueLen returns the number of jobs waiting for a core.
+func (p *Pool) QueueLen() int { return p.station.QueueLen() }
+
+// Busy returns the number of cores currently executing.
+func (p *Pool) Busy() int { return p.station.Busy() }
+
+// Completed returns the number of jobs retired.
+func (p *Pool) Completed() uint64 { return p.station.Completed() }
+
+// Dropped returns the number of jobs shed at the queue limit.
+func (p *Pool) Dropped() uint64 { return p.station.Dropped() }

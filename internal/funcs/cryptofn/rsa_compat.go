@@ -1,0 +1,18 @@
+package cryptofn
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+)
+
+// Thin wrappers isolating the stdlib RSA call shapes; kept in one place
+// so the main file reads as the benchmark surface.
+
+func signPKCS1v15(k *rsa.PrivateKey, digest [32]byte) ([]byte, error) {
+	return rsa.SignPKCS1v15(rand.Reader, k, crypto.SHA256, digest[:])
+}
+
+func verifyPKCS1v15(pub *rsa.PublicKey, digest [32]byte, sig []byte) error {
+	return rsa.VerifyPKCS1v15(pub, crypto.SHA256, digest[:], sig)
+}

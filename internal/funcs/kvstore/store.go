@@ -1,0 +1,158 @@
+// Package kvstore implements the two key-value-store benchmarks of paper
+// §3.4: a Redis-like TCP store driven by YCSB, and a MICA-like
+// kernel-bypass store (Lim et al. [42]) with a partitioned design,
+// RDMA-delivered requests, and batched GETs.
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+)
+
+// Store is the Redis-like single-namespace store: one logical hash table
+// serving GET/SET, sized by the YCSB load phase (30 K × 1 KB records in
+// the paper's runs).
+type Store struct {
+	data map[string][]byte
+
+	gets, sets, hits uint64
+	bytesStored      int64
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{data: make(map[string][]byte)}
+}
+
+// Set stores a copy of value under key.
+func (s *Store) Set(key string, value []byte) {
+	s.sets++
+	if old, ok := s.data[key]; ok {
+		s.bytesStored -= int64(len(old))
+	}
+	v := make([]byte, len(value))
+	copy(v, value)
+	s.data[key] = v
+	s.bytesStored += int64(len(v))
+}
+
+// Get returns the value for key. The returned slice is the store's own;
+// callers must not mutate it.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.gets++
+	v, ok := s.data[key]
+	if ok {
+		s.hits++
+	}
+	return v, ok
+}
+
+// Len returns the record count.
+func (s *Store) Len() int { return len(s.data) }
+
+// Gets, Sets and Hits expose operation counters.
+func (s *Store) Gets() uint64 { return s.gets }
+func (s *Store) Sets() uint64 { return s.sets }
+func (s *Store) Hits() uint64 { return s.hits }
+
+// WorkingSetBytes estimates resident size for the memory model.
+func (s *Store) WorkingSetBytes() int64 {
+	const perRecordOverhead = 64 // map bucket + key + header
+	return s.bytesStored + int64(len(s.data))*perRecordOverhead
+}
+
+// ---- Wire protocol (RESP-flavoured, length-prefixed) ----
+//
+// The simulator carries request/response payloads as real bytes so that
+// functional tests exercise genuine encode → serve → decode round trips.
+
+// Command is a parsed request.
+type Command struct {
+	Op    byte // 'G' or 'S'
+	Key   string
+	Value []byte
+}
+
+// Op codes.
+const (
+	OpGet byte = 'G'
+	OpSet byte = 'S'
+)
+
+// EncodeCommand renders a command to wire bytes:
+// op(1) keyLen(2) key valLen(4) value.
+func EncodeCommand(c Command) []byte {
+	buf := make([]byte, 1+2+len(c.Key)+4+len(c.Value))
+	buf[0] = c.Op
+	binary.BigEndian.PutUint16(buf[1:], uint16(len(c.Key)))
+	copy(buf[3:], c.Key)
+	off := 3 + len(c.Key)
+	binary.BigEndian.PutUint32(buf[off:], uint32(len(c.Value)))
+	copy(buf[off+4:], c.Value)
+	return buf
+}
+
+// DecodeCommand parses wire bytes.
+func DecodeCommand(b []byte) (Command, error) {
+	if len(b) < 7 {
+		return Command{}, fmt.Errorf("kvstore: short command (%d bytes)", len(b))
+	}
+	op := b[0]
+	if op != OpGet && op != OpSet {
+		return Command{}, fmt.Errorf("kvstore: unknown op %q", op)
+	}
+	kl := int(binary.BigEndian.Uint16(b[1:]))
+	if len(b) < 3+kl+4 {
+		return Command{}, fmt.Errorf("kvstore: truncated key")
+	}
+	key := string(b[3 : 3+kl])
+	off := 3 + kl
+	vl := int(binary.BigEndian.Uint32(b[off:]))
+	if len(b) < off+4+vl {
+		return Command{}, fmt.Errorf("kvstore: truncated value")
+	}
+	var val []byte
+	if vl > 0 {
+		val = b[off+4 : off+4+vl]
+	}
+	return Command{Op: op, Key: key, Value: val}, nil
+}
+
+// Serve executes one decoded command and returns the response payload:
+// status(1) valLen(4) value.
+func (s *Store) Serve(c Command) []byte {
+	switch c.Op {
+	case OpSet:
+		s.Set(c.Key, c.Value)
+		return []byte{'+', 0, 0, 0, 0}
+	case OpGet:
+		v, ok := s.Get(c.Key)
+		if !ok {
+			return []byte{'-', 0, 0, 0, 0}
+		}
+		out := make([]byte, 5+len(v))
+		out[0] = '+'
+		binary.BigEndian.PutUint32(out[1:], uint32(len(v)))
+		copy(out[5:], v)
+		return out
+	default:
+		return []byte{'-', 0, 0, 0, 0}
+	}
+}
+
+// ServeWire is the full request path: decode, execute, encode.
+func (s *Store) ServeWire(req []byte) ([]byte, error) {
+	c, err := DecodeCommand(req)
+	if err != nil {
+		return nil, err
+	}
+	return s.Serve(c), nil
+}
+
+// keyHash is the partition/key hash shared by Store users and MICA.
+func keyHash(key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	return h.Sum64()
+}

@@ -1,0 +1,211 @@
+package match
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestBasicMatches(t *testing.T) {
+	m := MustMatcher([]string{"he", "she", "his", "hers"})
+	got := m.Scan([]byte("ushers"))
+	// "ushers": she@4, he@4, hers@6.
+	want := []Match{{Pattern: 1, End: 4}, {Pattern: 0, End: 4}, {Pattern: 3, End: 6}}
+	if len(got) != len(want) {
+		t.Fatalf("matches = %v, want %v", got, want)
+	}
+	sortMatches(got)
+	sortMatches(want)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("matches = %v, want %v", got, want)
+		}
+	}
+}
+
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].End != ms[j].End {
+			return ms[i].End < ms[j].End
+		}
+		return ms[i].Pattern < ms[j].Pattern
+	})
+}
+
+func TestNoMatch(t *testing.T) {
+	m := MustMatcher([]string{"abc", "def"})
+	if m.Contains([]byte("xyzuvw")) {
+		t.Fatal("false positive")
+	}
+	if got := m.Scan([]byte("xyzuvw")); len(got) != 0 {
+		t.Fatalf("scan returned %v on clean input", got)
+	}
+}
+
+func TestOverlappingPatterns(t *testing.T) {
+	m := MustMatcher([]string{"aa", "aaa"})
+	got := m.Scan([]byte("aaaa"))
+	// aa@2, aa@3+aaa@3, aa@4+aaa@4 => 5 matches.
+	if len(got) != 5 {
+		t.Fatalf("overlap scan found %d matches, want 5: %v", len(got), got)
+	}
+}
+
+func TestPatternAtBoundaries(t *testing.T) {
+	m := MustMatcher([]string{"start", "end"})
+	data := []byte("start middle end")
+	got := m.Scan(data)
+	if len(got) != 2 {
+		t.Fatalf("boundary matches = %v", got)
+	}
+	if got[0].End != 5 || got[1].End != len(data) {
+		t.Fatalf("boundary offsets wrong: %v", got)
+	}
+}
+
+func TestContainsShortCircuit(t *testing.T) {
+	m := MustMatcher([]string{"needle"})
+	data := append([]byte("needle"), bytes.Repeat([]byte("x"), 1<<20)...)
+	if !m.Contains(data) {
+		t.Fatal("missed needle at start")
+	}
+}
+
+func TestBinaryPatterns(t *testing.T) {
+	m := MustMatcher([]string{string([]byte{0x00, 0xff, 0x7f}), string([]byte{0xde, 0xad})})
+	data := []byte{0x01, 0x00, 0xff, 0x7f, 0x02, 0xde, 0xad}
+	got := m.Scan(data)
+	if len(got) != 2 {
+		t.Fatalf("binary scan = %v", got)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if _, err := NewMatcher(nil); err == nil {
+		t.Fatal("empty pattern list accepted")
+	}
+	if _, err := NewMatcher([]string{"ok", ""}); err == nil {
+		t.Fatal("empty pattern accepted")
+	}
+	m := MustMatcher([]string{"x"})
+	if m.Contains(nil) {
+		t.Fatal("match in empty data")
+	}
+}
+
+func TestDuplicatePatternsBothReported(t *testing.T) {
+	m := MustMatcher([]string{"dup", "dup"})
+	got := m.Scan([]byte("dup"))
+	if len(got) != 2 {
+		t.Fatalf("duplicate patterns: %d matches, want 2", len(got))
+	}
+}
+
+// naiveScan is the ground truth for property testing.
+func naiveScan(patterns []string, data []byte) []Match {
+	var out []Match
+	for pi, p := range patterns {
+		for i := 0; i+len(p) <= len(data); i++ {
+			if string(data[i:i+len(p)]) == p {
+				out = append(out, Match{Pattern: pi, End: i + len(p)})
+			}
+		}
+	}
+	return out
+}
+
+func TestScanMatchesNaiveProperty(t *testing.T) {
+	r := sim.NewRNG(99)
+	alphabet := "abc" // small alphabet maximizes overlaps
+	randPat := func() string {
+		n := 1 + r.Intn(4)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.WriteByte(alphabet[r.Intn(len(alphabet))])
+		}
+		return sb.String()
+	}
+	for iter := 0; iter < 300; iter++ {
+		np := 1 + r.Intn(6)
+		pats := make([]string, np)
+		for i := range pats {
+			pats[i] = randPat()
+		}
+		data := make([]byte, r.Intn(64))
+		for i := range data {
+			data[i] = alphabet[r.Intn(len(alphabet))]
+		}
+		m := MustMatcher(pats)
+		got := m.Scan(data)
+		want := naiveScan(pats, data)
+		sortMatches(got)
+		sortMatches(want)
+		if len(got) != len(want) {
+			t.Fatalf("iter %d: pats=%q data=%q got %v want %v", iter, pats, data, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("iter %d: pats=%q data=%q got %v want %v", iter, pats, data, got, want)
+			}
+		}
+	}
+}
+
+func TestContainsAgreesWithScanProperty(t *testing.T) {
+	m := MustMatcher([]string{"ab", "bca", "c"})
+	f := func(data []byte) bool {
+		return m.Contains(data) == (len(m.Scan(data)) > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPaperRuleSetsCompile(t *testing.T) {
+	// The three synthesized Snort-style rule sets must compile and find
+	// the embedded patterns the payload generator plants.
+	for _, name := range trace.RuleSetNames() {
+		rs := trace.GenRuleSet(name, 42)
+		m := MustMatcher(rs.Patterns)
+		if m.NumPatterns() != len(rs.Patterns) {
+			t.Fatalf("%s: pattern count mismatch", name)
+		}
+		pg := trace.NewPayloadGen(rs, 7)
+		agree := 0
+		const n = 3000
+		for i := 0; i < n; i++ {
+			payload, has := pg.Next(1500)
+			if m.Contains(payload) == has {
+				agree++
+			}
+		}
+		if agree != n {
+			t.Fatalf("%s: matcher disagreed with ground truth on %d/%d payloads", name, n-agree, n)
+		}
+	}
+}
+
+func TestStatesGrowWithRules(t *testing.T) {
+	img := MustMatcher(trace.GenRuleSet(trace.RuleSetImage, 42).Patterns)
+	fla := MustMatcher(trace.GenRuleSet(trace.RuleSetFlash, 42).Patterns)
+	if img.States() <= 1 || fla.States() <= 1 {
+		t.Fatal("automata too small")
+	}
+}
+
+func BenchmarkScanMTU(b *testing.B) {
+	rs := trace.GenRuleSet(trace.RuleSetExecutable, 42)
+	m := MustMatcher(rs.Patterns)
+	pg := trace.NewPayloadGen(rs, 7)
+	payload, _ := pg.Next(1500)
+	b.SetBytes(1500)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Contains(payload)
+	}
+}

@@ -1,0 +1,147 @@
+// Package nat implements the network-address-translation benchmark of
+// paper §3.4 (RFC 1631-style): a translation table mapping public
+// endpoints to private ones, evaluated at 10 K and 1 M randomly generated
+// entries. Each ingress packet's destination is rewritten through the
+// table; each egress packet's source is mapped back.
+package nat
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// IPv4 is a 32-bit address.
+type IPv4 uint32
+
+// String renders dotted quad.
+func (ip IPv4) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(ip>>24), byte(ip>>16), byte(ip>>8), byte(ip))
+}
+
+// Entry is one translation pair.
+type Entry struct {
+	Public  IPv4
+	Private IPv4
+}
+
+// Table is the NAT mapping. Lookups are exact-match hash lookups both
+// ways; memory footprint grows linearly with entries, which is what makes
+// the 1 M-entry variant memory-bound (its working set spills the SNIC's
+// small LLC).
+type Table struct {
+	toPrivate map[IPv4]IPv4
+	toPublic  map[IPv4]IPv4
+	misses    uint64
+}
+
+// PaperEntrySizes are the two configurations of Table 3.
+var PaperEntrySizes = []int{10_000, 1_000_000}
+
+// NewTable builds an empty table.
+func NewTable() *Table {
+	return &Table{
+		toPrivate: make(map[IPv4]IPv4),
+		toPublic:  make(map[IPv4]IPv4),
+	}
+}
+
+// GenerateTable builds a table with n random, collision-free entries.
+// Public addresses draw from 128.0.0.0/2 and private from 10.0.0.0/8, so
+// the two spaces never collide.
+func GenerateTable(n int, seed uint64) *Table {
+	t := NewTable()
+	r := sim.NewRNG(seed)
+	for len(t.toPrivate) < n {
+		pub := IPv4(0x80000000 | uint32(r.Uint64n(1<<30)))
+		priv := IPv4(0x0a000000 | uint32(r.Uint64n(1<<24)))
+		if _, dup := t.toPrivate[pub]; dup {
+			continue
+		}
+		if _, dup := t.toPublic[priv]; dup {
+			continue
+		}
+		t.Add(Entry{Public: pub, Private: priv})
+	}
+	return t
+}
+
+// Add inserts a translation pair, replacing any previous mapping of the
+// same public address.
+func (t *Table) Add(e Entry) {
+	if old, ok := t.toPrivate[e.Public]; ok {
+		delete(t.toPublic, old)
+	}
+	t.toPrivate[e.Public] = e.Private
+	t.toPublic[e.Private] = e.Public
+}
+
+// Len returns the entry count.
+func (t *Table) Len() int { return len(t.toPrivate) }
+
+// Inbound translates an ingress packet's destination (public → private).
+func (t *Table) Inbound(dst IPv4) (IPv4, bool) {
+	priv, ok := t.toPrivate[dst]
+	if !ok {
+		t.misses++
+	}
+	return priv, ok
+}
+
+// Outbound translates an egress packet's source (private → public).
+func (t *Table) Outbound(src IPv4) (IPv4, bool) {
+	pub, ok := t.toPublic[src]
+	if !ok {
+		t.misses++
+	}
+	return pub, ok
+}
+
+// Misses returns failed lookups (packets a real NAT would drop or punt).
+func (t *Table) Misses() uint64 { return t.misses }
+
+// WorkingSetBytes estimates the table's resident size for the memory
+// model: two map entries of ~(key+value+overhead) per translation.
+func (t *Table) WorkingSetBytes() int64 {
+	const perEntry = 2 * (4 + 4 + 40) // both directions, map overhead
+	return int64(t.Len()) * perEntry
+}
+
+// Header is the minimal packet header NAT rewrites.
+type Header struct {
+	Src, Dst IPv4
+}
+
+// RewriteInbound applies inbound translation to a header in place,
+// reporting whether a mapping existed.
+func (t *Table) RewriteInbound(h *Header) bool {
+	priv, ok := t.Inbound(h.Dst)
+	if !ok {
+		return false
+	}
+	h.Dst = priv
+	return true
+}
+
+// RewriteOutbound applies outbound translation to a header in place.
+func (t *Table) RewriteOutbound(h *Header) bool {
+	pub, ok := t.Outbound(h.Src)
+	if !ok {
+		return false
+	}
+	h.Src = pub
+	return true
+}
+
+// SomePublic returns a deterministic sample of n public addresses from
+// the table, for request generation.
+func (t *Table) SomePublic(n int, seed uint64) []IPv4 {
+	out := make([]IPv4, 0, n)
+	for pub := range t.toPrivate {
+		out = append(out, pub)
+		if len(out) == n {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package nat
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddAndTranslate(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(Entry{Public: 0x80000001, Private: 0x0a000001})
+	priv, ok := tbl.Inbound(0x80000001)
+	if !ok || priv != 0x0a000001 {
+		t.Fatalf("inbound = %v,%v", priv, ok)
+	}
+	pub, ok := tbl.Outbound(0x0a000001)
+	if !ok || pub != 0x80000001 {
+		t.Fatalf("outbound = %v,%v", pub, ok)
+	}
+}
+
+func TestMissCounting(t *testing.T) {
+	tbl := NewTable()
+	if _, ok := tbl.Inbound(1); ok {
+		t.Fatal("hit on empty table")
+	}
+	tbl.Outbound(2)
+	if tbl.Misses() != 2 {
+		t.Fatalf("misses = %d, want 2", tbl.Misses())
+	}
+}
+
+func TestAddReplaces(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(Entry{Public: 10, Private: 100})
+	tbl.Add(Entry{Public: 10, Private: 200})
+	if priv, _ := tbl.Inbound(10); priv != 200 {
+		t.Fatalf("replacement failed: %v", priv)
+	}
+	// Old reverse mapping must be gone.
+	if _, ok := tbl.Outbound(100); ok {
+		t.Fatal("stale reverse mapping survived replacement")
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len = %d, want 1", tbl.Len())
+	}
+}
+
+func TestGenerateTableSizes(t *testing.T) {
+	for _, n := range []int{100, 10_000} {
+		tbl := GenerateTable(n, 42)
+		if tbl.Len() != n {
+			t.Fatalf("generated %d entries, want %d", tbl.Len(), n)
+		}
+	}
+}
+
+func TestGenerateTableDeterministic(t *testing.T) {
+	a := GenerateTable(1000, 7)
+	b := GenerateTable(1000, 7)
+	for _, pub := range a.SomePublic(100, 0) {
+		pa, _ := a.Inbound(pub)
+		pb, ok := b.Inbound(pub)
+		if !ok || pa != pb {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestGeneratedSpacesDisjoint(t *testing.T) {
+	tbl := GenerateTable(5000, 3)
+	for _, pub := range tbl.SomePublic(5000, 0) {
+		priv, _ := tbl.Inbound(pub)
+		if pub>>24 == 10 {
+			t.Fatalf("public address %v in private space", pub)
+		}
+		if priv>>24 != 10 {
+			t.Fatalf("private address %v outside 10.0.0.0/8", priv)
+		}
+	}
+}
+
+func TestRewriteInPlace(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(Entry{Public: 0x80000005, Private: 0x0a000005})
+	h := Header{Src: 1, Dst: 0x80000005}
+	if !tbl.RewriteInbound(&h) || h.Dst != 0x0a000005 {
+		t.Fatalf("inbound rewrite: %+v", h)
+	}
+	h2 := Header{Src: 0x0a000005, Dst: 2}
+	if !tbl.RewriteOutbound(&h2) || h2.Src != 0x80000005 {
+		t.Fatalf("outbound rewrite: %+v", h2)
+	}
+	h3 := Header{Dst: 999}
+	if tbl.RewriteInbound(&h3) || h3.Dst != 999 {
+		t.Fatal("rewrite on miss must leave header untouched")
+	}
+}
+
+// Property: round-trip through the table is identity for every entry.
+func TestRoundTripProperty(t *testing.T) {
+	tbl := GenerateTable(2000, 11)
+	f := func(idx uint16) bool {
+		pubs := tbl.SomePublic(2000, 0)
+		pub := pubs[int(idx)%len(pubs)]
+		priv, ok := tbl.Inbound(pub)
+		if !ok {
+			return false
+		}
+		back, ok := tbl.Outbound(priv)
+		return ok && back == pub
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkingSetScales(t *testing.T) {
+	small := GenerateTable(1000, 1).WorkingSetBytes()
+	big := GenerateTable(10_000, 1).WorkingSetBytes()
+	if big != 10*small {
+		t.Fatalf("working set not linear: %d vs %d", small, big)
+	}
+	// The paper's 1M-entry table must overflow the SNIC's 6MB LLC.
+	perEntry := big / 10_000
+	if perEntry*1_000_000 <= 6<<20 {
+		t.Fatal("1M-entry working set should exceed the SNIC LLC")
+	}
+}
+
+func TestIPv4String(t *testing.T) {
+	if s := IPv4(0x0a000001).String(); s != "10.0.0.1" {
+		t.Fatalf("String = %q", s)
+	}
+}

@@ -1,0 +1,82 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPeakBandwidths(t *testing.T) {
+	// Server: 6 ch × 2666 MT/s × 8 B = 127.97 GB/s.
+	if bw := ServerDDR4().PeakBytesPerSec(); bw < 127e9 || bw > 129e9 {
+		t.Errorf("server peak = %v, want ~128 GB/s", bw)
+	}
+	// SNIC: 1 ch × 3200 MT/s × 8 B = 25.6 GB/s.
+	if bw := BlueField2DDR4().PeakBytesPerSec(); bw != 25.6e9 {
+		t.Errorf("SNIC peak = %v, want 25.6 GB/s", bw)
+	}
+}
+
+func TestCapacitiesMatchPaper(t *testing.T) {
+	if BlueField2DDR4().CapacityB != 16<<30 {
+		t.Error("SNIC memory must be 16 GB (Table 1)")
+	}
+	if ServerDDR4().CapacityB != 128<<30 {
+		t.Error("server memory must be 128 GB (Table 2)")
+	}
+}
+
+func TestPenaltyZeroIntensity(t *testing.T) {
+	if p := BlueField2DDR4().Penalty(0, 1<<30, 6<<20); p != 1.0 {
+		t.Fatalf("zero intensity penalty = %v, want 1.0", p)
+	}
+}
+
+func TestPenaltySNICWorseThanHost(t *testing.T) {
+	ws := int64(64 << 20)
+	hostLLC := int64(24750 * 1024)
+	snicLLC := int64(6 << 20)
+	h := ServerDDR4().Penalty(0.5, ws, hostLLC)
+	s := BlueField2DDR4().Penalty(0.5, ws, snicLLC)
+	if s <= h {
+		t.Fatalf("SNIC penalty %v must exceed host %v for a memory-bound workload", s, h)
+	}
+	if h < 1.0 {
+		t.Fatalf("penalty below 1.0: %v", h)
+	}
+}
+
+func TestPenaltyReferenceIsNeutral(t *testing.T) {
+	// The server subsystem with a cache-resident working set pays nothing.
+	if p := ServerDDR4().Penalty(1.0, 1<<20, 24750*1024); p != 1.0 {
+		t.Fatalf("reference penalty = %v, want 1.0", p)
+	}
+}
+
+// Property: penalty is >= 1, and monotone in intensity.
+func TestPenaltyMonotoneProperty(t *testing.T) {
+	f := func(wsMB uint16) bool {
+		ws := int64(wsMB)<<20 + 1
+		spec := BlueField2DDR4()
+		prev := 0.0
+		for _, in := range []float64{0, 0.25, 0.5, 0.75, 1.0} {
+			p := spec.Penalty(in, ws, 6<<20)
+			if p < 1.0 || p < prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPenaltyBadIntensityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("intensity > 1 did not panic")
+		}
+	}()
+	ServerDDR4().Penalty(1.5, 0, 0)
+}

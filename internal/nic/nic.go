@@ -1,0 +1,213 @@
+// Package nic models the network interface hardware of the testbed: the
+// 100 Gb/s ConnectX-6 Dx port, the embedded switch (eSwitch) inside it,
+// and the BlueField-2 operation modes of paper §2.3.
+//
+// In on-path mode (the only mode the paper evaluates — NVIDIA discontinued
+// off-path support) the BlueField-2 CPU programs OvS forwarding rules into
+// the eSwitch, which then steers each ingress packet in hardware either to
+// the SNIC CPU's local stack or across PCIe to the host CPU.
+package nic
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// LineRateBits is the port speed of both the ConnectX-6 Dx and the
+// BlueField-2 (dual 100 Gb/s ports; the testbed uses one).
+const LineRateBits = 100e9
+
+// EthernetOverhead is the per-frame wire overhead (preamble 8 + FCS 4 +
+// IFG 12) added on top of the L2 frame.
+const EthernetOverhead = 24
+
+// MTU is the paper's OvS/REM packet size (§3.4).
+const MTU = 1500
+
+// Packet is the unit that crosses the simulated wire.
+type Packet struct {
+	Seq    uint64
+	Size   int      // L2 frame bytes (headers + payload)
+	Flow   uint64   // flow identifier for steering and NAT/OvS lookups
+	SentAt sim.Time // client-side departure time, for RTT accounting
+	// Payload carries the application-level object (a KVS request, a
+	// chunk to compress, ...). The simulator moves it; functions parse it.
+	Payload any
+}
+
+// Destination names the on-NIC steering targets of Fig. 2.
+type Destination int
+
+const (
+	// ToHostCPU steers across PCIe into the host networking stack.
+	ToHostCPU Destination = iota
+	// ToSNICCPU steers into the BlueField-2 Arm cores' local stack.
+	ToSNICCPU
+	// ToAccelerator steers to SNIC CPU staging cores that feed a
+	// fixed-function engine (REM/compress path of §2.2).
+	ToAccelerator
+	// Drop discards the packet in hardware.
+	Drop
+)
+
+func (d Destination) String() string {
+	switch d {
+	case ToHostCPU:
+		return "host-cpu"
+	case ToSNICCPU:
+		return "snic-cpu"
+	case ToAccelerator:
+		return "snic-accel"
+	case Drop:
+		return "drop"
+	default:
+		return fmt.Sprintf("dest(%d)", int(d))
+	}
+}
+
+// Mode is the BlueField-2 operation mode (paper §2.3).
+type Mode int
+
+const (
+	// OnPath: SNIC CPU is the control plane; all steering rules live in
+	// the eSwitch it programs. Required for the accelerators.
+	OnPath Mode = iota
+	// OffPath: the SNIC appears as an independent Ethernet node;
+	// forwarding is by destination MAC. Modelled for completeness but
+	// unused by the experiments, as in the paper.
+	OffPath
+)
+
+func (m Mode) String() string {
+	if m == OffPath {
+		return "off-path"
+	}
+	return "on-path"
+}
+
+// SteerFunc decides a packet's destination; it is the data-plane rule set
+// the control plane installs.
+type SteerFunc func(*Packet) Destination
+
+// Sink consumes steered packets.
+type Sink func(*Packet)
+
+// ESwitch is the embedded switch: hardware match-action steering at line
+// rate. Forwarding adds a small fixed latency; host-destined packets pay
+// an additional PCIe crossing handled by the configured hostDelay.
+type ESwitch struct {
+	eng   *sim.Engine
+	mode  Mode
+	steer SteerFunc
+	sinks map[Destination]Sink
+
+	// SwitchDelay is the hardware match-action latency.
+	SwitchDelay sim.Duration
+	// HostExtraDelay is the added PCIe DMA latency for ToHostCPU
+	// deliveries (the packet must cross the interconnect to host DRAM).
+	HostExtraDelay sim.Duration
+
+	forwarded map[Destination]uint64
+}
+
+// NewESwitch returns an eSwitch in on-path mode with typical ConnectX-6
+// hardware latencies and a default-drop rule set.
+func NewESwitch(eng *sim.Engine) *ESwitch {
+	return &ESwitch{
+		eng:            eng,
+		mode:           OnPath,
+		steer:          func(*Packet) Destination { return Drop },
+		sinks:          make(map[Destination]Sink),
+		SwitchDelay:    300 * sim.Nanosecond,
+		HostExtraDelay: 700 * sim.Nanosecond,
+		forwarded:      make(map[Destination]uint64),
+	}
+}
+
+// SetMode selects the operation mode.
+func (sw *ESwitch) SetMode(m Mode) { sw.mode = m }
+
+// Mode returns the current operation mode.
+func (sw *ESwitch) Mode() Mode { return sw.mode }
+
+// Program installs the steering rules (the OvS control-plane action).
+func (sw *ESwitch) Program(f SteerFunc) {
+	if f == nil {
+		panic("nic: programming nil steering function")
+	}
+	sw.steer = f
+}
+
+// Connect registers the consumer for a destination.
+func (sw *ESwitch) Connect(d Destination, s Sink) {
+	if s == nil {
+		panic("nic: connecting nil sink")
+	}
+	sw.sinks[d] = s
+}
+
+// Ingress accepts a packet from the wire and steers it.
+func (sw *ESwitch) Ingress(p *Packet) {
+	d := sw.steer(p)
+	sw.forwarded[d]++
+	if d == Drop {
+		return
+	}
+	delay := sw.SwitchDelay
+	if d == ToHostCPU {
+		delay += sw.HostExtraDelay
+	}
+	sink, ok := sw.sinks[d]
+	if !ok {
+		// A rule steering to an unconnected destination is a
+		// configuration bug; drop loudly.
+		panic(fmt.Sprintf("nic: no sink connected for %v", d))
+	}
+	sw.eng.After(delay, func() { sink(p) })
+}
+
+// Forwarded returns how many packets were steered to d (including drops).
+func (sw *ESwitch) Forwarded(d Destination) uint64 { return sw.forwarded[d] }
+
+// Wire is a full-duplex 100 GbE cable between client and server. Each
+// direction is an independent serializing link; per-frame Ethernet
+// overhead is added here so models deal only in L2 frame sizes.
+type Wire struct {
+	eng            *sim.Engine
+	clientToServer *sim.Link
+	serverToClient *sim.Link
+}
+
+// NewWire returns a wire with the given one-way propagation delay
+// (back-to-back DAC cables are a few hundred nanoseconds end to end).
+func NewWire(eng *sim.Engine, propagation sim.Duration) *Wire {
+	return &Wire{
+		eng:            eng,
+		clientToServer: sim.NewLink(eng, LineRateBits, propagation),
+		serverToClient: sim.NewLink(eng, LineRateBits, propagation),
+	}
+}
+
+// SendToServer transmits a frame toward the server and delivers it to
+// recv at arrival.
+func (w *Wire) SendToServer(p *Packet, recv func(*Packet)) {
+	w.clientToServer.Send(p.Size+EthernetOverhead, func() { recv(p) })
+}
+
+// SendToClient transmits a frame toward the client.
+func (w *Wire) SendToClient(p *Packet, recv func(*Packet)) {
+	w.serverToClient.Send(p.Size+EthernetOverhead, func() { recv(p) })
+}
+
+// ServerDirUtilization reports the client→server direction utilization.
+func (w *Wire) ServerDirUtilization() float64 { return w.clientToServer.Utilization() }
+
+// ClientDirUtilization reports the server→client direction utilization.
+func (w *Wire) ClientDirUtilization() float64 { return w.serverToClient.Utilization() }
+
+// ServerDirBytes returns bytes sent toward the server.
+func (w *Wire) ServerDirBytes() uint64 { return w.clientToServer.BytesSent() }
+
+// ClientDirBytes returns bytes sent toward the client.
+func (w *Wire) ClientDirBytes() uint64 { return w.serverToClient.BytesSent() }

@@ -1,0 +1,135 @@
+package nic
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestESwitchSteering(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewESwitch(eng)
+	var toHost, toSNIC int
+	sw.Connect(ToHostCPU, func(*Packet) { toHost++ })
+	sw.Connect(ToSNICCPU, func(*Packet) { toSNIC++ })
+	sw.Program(func(p *Packet) Destination {
+		if p.Flow%2 == 0 {
+			return ToHostCPU
+		}
+		return ToSNICCPU
+	})
+	for i := uint64(0); i < 10; i++ {
+		sw.Ingress(&Packet{Flow: i, Size: 64})
+	}
+	eng.Run()
+	if toHost != 5 || toSNIC != 5 {
+		t.Fatalf("steered host=%d snic=%d, want 5/5", toHost, toSNIC)
+	}
+	if sw.Forwarded(ToHostCPU) != 5 {
+		t.Fatal("forwarding counter wrong")
+	}
+}
+
+func TestESwitchHostPathCostsMore(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewESwitch(eng)
+	var hostAt, snicAt sim.Time
+	sw.Connect(ToHostCPU, func(*Packet) { hostAt = eng.Now() })
+	sw.Connect(ToSNICCPU, func(*Packet) { snicAt = eng.Now() })
+	sw.Program(func(p *Packet) Destination {
+		if p.Flow == 0 {
+			return ToHostCPU
+		}
+		return ToSNICCPU
+	})
+	sw.Ingress(&Packet{Flow: 0})
+	sw.Ingress(&Packet{Flow: 1})
+	eng.Run()
+	if hostAt <= snicAt {
+		t.Fatalf("host delivery (%v) must be slower than SNIC-local (%v): PCIe crossing", hostAt, snicAt)
+	}
+}
+
+func TestESwitchDrop(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewESwitch(eng)
+	sw.Program(func(*Packet) Destination { return Drop })
+	sw.Ingress(&Packet{})
+	eng.Run()
+	if sw.Forwarded(Drop) != 1 {
+		t.Fatal("drop not counted")
+	}
+}
+
+func TestESwitchUnconnectedSinkPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	sw := NewESwitch(eng)
+	sw.Program(func(*Packet) Destination { return ToAccelerator })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("steering to unconnected destination did not panic")
+		}
+	}()
+	sw.Ingress(&Packet{})
+}
+
+func TestESwitchDefaultsOnPath(t *testing.T) {
+	sw := NewESwitch(sim.NewEngine())
+	if sw.Mode() != OnPath {
+		t.Fatal("default mode must be on-path (paper evaluates only on-path)")
+	}
+	sw.SetMode(OffPath)
+	if sw.Mode() != OffPath {
+		t.Fatal("mode switch failed")
+	}
+}
+
+func TestWireLineRate(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWire(eng, 200*sim.Nanosecond)
+	received := 0
+	// Blast MTU frames for 1 simulated millisecond.
+	var send func()
+	seq := uint64(0)
+	send = func() {
+		if eng.Now() >= sim.Time(sim.Millisecond) {
+			return
+		}
+		seq++
+		w.SendToServer(&Packet{Seq: seq, Size: MTU}, func(*Packet) { received++ })
+		eng.After(sim.DurationOf(MTU+EthernetOverhead, LineRateBits), send)
+	}
+	eng.At(0, send)
+	eng.Run()
+	// Goodput at MTU: 1500/1524 × 100 Gb/s ≈ 98.4 Gb/s.
+	gbps := float64(received) * MTU * 8 / 1e-3 / 1e9
+	if gbps < 96 || gbps > 100 {
+		t.Fatalf("MTU goodput = %.1f Gb/s, want ~98", gbps)
+	}
+}
+
+func TestWireDirectionsIndependent(t *testing.T) {
+	eng := sim.NewEngine()
+	w := NewWire(eng, 0)
+	var a, b sim.Time
+	w.SendToServer(&Packet{Size: MTU}, func(*Packet) { a = eng.Now() })
+	w.SendToClient(&Packet{Size: MTU}, func(*Packet) { b = eng.Now() })
+	eng.Run()
+	if a != b {
+		t.Fatalf("full duplex broken: %v vs %v", a, b)
+	}
+	if w.ServerDirBytes() != MTU+EthernetOverhead {
+		t.Fatalf("server-dir bytes = %d", w.ServerDirBytes())
+	}
+}
+
+func TestDestinationStrings(t *testing.T) {
+	for d, want := range map[Destination]string{
+		ToHostCPU: "host-cpu", ToSNICCPU: "snic-cpu",
+		ToAccelerator: "snic-accel", Drop: "drop",
+	} {
+		if d.String() != want {
+			t.Errorf("%d.String() = %q, want %q", int(d), d.String(), want)
+		}
+	}
+}

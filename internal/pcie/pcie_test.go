@@ -1,0 +1,87 @@
+package pcie
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestGen4x16Bandwidth(t *testing.T) {
+	cfg := Gen4x16()
+	// 16 GT/s × 16 lanes × 128/130 × 0.8 ≈ 201.6 Gb/s ≈ 25.2 GB/s.
+	bps := cfg.UsableBitsPerSec()
+	if bps < 195e9 || bps > 210e9 {
+		t.Fatalf("usable bandwidth = %v bits/s, want ~202e9", bps)
+	}
+}
+
+func TestDMALatencyFloor(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng, Gen4x16())
+	var arrived sim.Time
+	bus.DMA(ToHost, 64, func() { arrived = eng.Now() })
+	eng.Run()
+	// Descriptor round trip (900ns) + half-RT propagation (450ns) +
+	// 64B serialization: a small DMA is dominated by latency, not size.
+	if arrived < 1300 || arrived > 1500 {
+		t.Fatalf("64B DMA arrival = %v, want ~1.35-1.4µs", arrived)
+	}
+}
+
+func TestDMABandwidthForLargeTransfers(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng, Gen4x16())
+	const size = 1 << 20 // 1 MB
+	var arrived sim.Time
+	bus.DMA(ToDevice, size, func() { arrived = eng.Now() })
+	eng.Run()
+	// 1 MB at ~202 Gb/s ≈ 41.5 µs; latency adds ~1.35 µs.
+	us := sim.Duration(arrived).Micros()
+	if us < 40 || us > 46 {
+		t.Fatalf("1MB DMA took %.1f µs, want ~43", us)
+	}
+}
+
+func TestDMADirectionsIndependent(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng, Gen4x16())
+	var upDone, downDone sim.Time
+	bus.DMA(ToHost, 1<<20, func() { upDone = eng.Now() })
+	bus.DMA(ToDevice, 1<<20, func() { downDone = eng.Now() })
+	eng.Run()
+	// Full duplex: both finish at the same time, not serialized.
+	diff := upDone - downDone
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > sim.Time(sim.Microsecond) {
+		t.Fatalf("directions serialized: up=%v down=%v", upDone, downDone)
+	}
+	if bus.DMACount() != 2 {
+		t.Fatalf("DMA count = %d, want 2", bus.DMACount())
+	}
+}
+
+func TestDoorbell(t *testing.T) {
+	eng := sim.NewEngine()
+	bus := NewBus(eng, Gen4x16())
+	var at sim.Time
+	bus.Doorbell(func() { at = eng.Now() })
+	eng.Run()
+	// 120ns MMIO + 450ns half-RT = 570ns.
+	if at != 570 {
+		t.Fatalf("doorbell visible at %v, want 570ns", at)
+	}
+	if bus.DoorbellCount() != 1 {
+		t.Fatal("doorbell not counted")
+	}
+}
+
+func TestUnknownGenPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown PCIe gen did not panic")
+		}
+	}()
+	(Config{Gen: 9, Lanes: 16}).UsableBitsPerSec()
+}

@@ -1,0 +1,204 @@
+// Package power models the energy side of the paper: a component-level
+// power model for the server and SNIC, and the two measurement
+// instruments of §3.2 — the BMC/IPMI (DCMI) system sensor (1 Hz, ±1 W)
+// and the custom Yocto-Watt PCIe-riser rig (10 Hz, ±2 mW) that isolates
+// the SNIC's draw from the system-wide number.
+//
+// The calibration anchors come straight from the paper's Fig. 6
+// discussion: 252 W server idle, 29 W SNIC idle, up to 150.6 W server
+// active delta and up to 5.4 W SNIC active delta.
+package power
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Watts is instantaneous power.
+type Watts float64
+
+// Joules is energy.
+type Joules float64
+
+// Paper §4 anchor constants.
+const (
+	// ServerIdleW is the system-wide idle draw (BMC reading, includes
+	// the SNIC's idle draw because the SNIC is a PCIe subsystem).
+	ServerIdleW Watts = 252
+	// SNICIdleW is the SNIC's idle draw on the Yocto-Watt rig.
+	SNICIdleW Watts = 29
+	// ServerMaxActiveW is the largest active delta observed on the
+	// server across the benchmark suite.
+	ServerMaxActiveW Watts = 150.6
+	// SNICMaxActiveW is the largest active delta observed on the SNIC.
+	SNICMaxActiveW Watts = 5.4
+)
+
+// Component reports its instantaneous draw; the Model sums components and
+// the sensors sample the sums.
+type Component interface {
+	Name() string
+	Power() Watts
+}
+
+// Fixed is a constant-draw component (motherboard, fans baseline, PSU
+// overhead, idle DIMMs, storage).
+type Fixed struct {
+	Label string
+	W     Watts
+}
+
+// Name implements Component.
+func (f Fixed) Name() string { return f.Label }
+
+// Power implements Component.
+func (f Fixed) Power() Watts { return f.W }
+
+// UtilizationSource exposes an instantaneous busy fraction in [0,1];
+// cpu.Pool, accel engines, and links all satisfy it via adapters.
+type UtilizationSource func() float64
+
+// Linear is a component whose draw scales linearly between an idle and a
+// maximum value with a utilization signal: CPU packages, DRAM under
+// bandwidth load, accelerator engines.
+type Linear struct {
+	Label      string
+	IdleW      Watts
+	MaxActiveW Watts // added on top of IdleW at 100% utilization
+	Util       UtilizationSource
+}
+
+// Name implements Component.
+func (l Linear) Name() string { return l.Label }
+
+// Power implements Component.
+func (l Linear) Power() Watts {
+	u := l.Util()
+	if u < 0 {
+		u = 0
+	}
+	if u > 1 {
+		u = 1
+	}
+	return l.IdleW + Watts(u)*l.MaxActiveW
+}
+
+// Model is a named set of components whose sum is one measurement domain
+// (the whole server for the BMC; the SNIC card for the Yocto-Watt rig).
+type Model struct {
+	Label      string
+	components []Component
+}
+
+// NewModel returns an empty model.
+func NewModel(label string) *Model { return &Model{Label: label} }
+
+// Add registers a component and returns the model for chaining.
+func (m *Model) Add(c Component) *Model {
+	if c == nil {
+		panic("power: adding nil component")
+	}
+	m.components = append(m.components, c)
+	return m
+}
+
+// Power returns the instantaneous sum.
+func (m *Model) Power() Watts {
+	var sum Watts
+	for _, c := range m.components {
+		sum += c.Power()
+	}
+	return sum
+}
+
+// Breakdown returns each component's instantaneous draw.
+func (m *Model) Breakdown() map[string]Watts {
+	out := make(map[string]Watts, len(m.components))
+	for _, c := range m.components {
+		out[c.Name()] += c.Power()
+	}
+	return out
+}
+
+// Sensor samples a power source periodically into a time series, with the
+// instrument's quantization applied — the fidelity difference between the
+// BMC and the Yocto-Watt rig (500× resolution, 10× rate) is part of the
+// paper's methodology story.
+type Sensor struct {
+	Label   string
+	Period  sim.Duration
+	Quantum Watts // readings are rounded to this granularity
+	Source  func() Watts
+	Trace   stats.TimeSeries
+	eng     *sim.Engine
+	running bool
+}
+
+// NewBMCSensor returns the IPMI/DCMI instrument: 1 Hz, ±1 W.
+func NewBMCSensor(eng *sim.Engine, src func() Watts) *Sensor {
+	return &Sensor{Label: "BMC/DCMI", Period: sim.Second, Quantum: 1, Source: src, eng: eng}
+}
+
+// NewYoctoWattSensor returns the PCIe-riser instrument: 10 Hz, ±2 mW.
+func NewYoctoWattSensor(eng *sim.Engine, src func() Watts) *Sensor {
+	return &Sensor{Label: "Yocto-Watt", Period: 100 * sim.Millisecond, Quantum: 0.002, Source: src, eng: eng}
+}
+
+// Start begins periodic sampling until stop time.
+func (s *Sensor) Start(until sim.Time) {
+	if s.running {
+		panic("power: sensor already started")
+	}
+	s.running = true
+	var tick func()
+	tick = func() {
+		if s.eng.Now() > until {
+			return
+		}
+		s.Trace.Add(s.eng.Now(), float64(s.quantize(s.Source())))
+		s.eng.After(s.Period, tick)
+	}
+	s.eng.After(s.Period, tick)
+}
+
+func (s *Sensor) quantize(w Watts) Watts {
+	if s.Quantum <= 0 {
+		return w
+	}
+	steps := float64(w) / float64(s.Quantum)
+	return Watts(float64(int64(steps+0.5))) * s.Quantum
+}
+
+// Average returns the time-weighted mean of the trace.
+func (s *Sensor) Average() Watts { return Watts(s.Trace.TimeWeightedMean()) }
+
+// Peak returns the largest sample.
+func (s *Sensor) Peak() Watts { return Watts(s.Trace.Max()) }
+
+// Energy integrates the trace over its span.
+func (s *Sensor) Energy() Joules {
+	n := s.Trace.Len()
+	if n < 2 {
+		return 0
+	}
+	span := s.Trace.Times[n-1].Sub(s.Trace.Times[0]).Seconds()
+	return Joules(float64(s.Average()) * span)
+}
+
+// Efficiency is the paper's energy-efficiency metric: useful throughput
+// divided by system-wide energy. Units: bits per joule when throughput is
+// bits/s (equivalently Gb/s per kW scaled); ops per joule for op-metered
+// functions.
+func Efficiency(throughputPerSec float64, avg Watts) float64 {
+	if avg <= 0 {
+		return 0
+	}
+	return throughputPerSec / float64(avg)
+}
+
+func (s *Sensor) String() string {
+	return fmt.Sprintf("%s: %d samples, avg %.1f W, peak %.1f W",
+		s.Label, s.Trace.Len(), float64(s.Average()), float64(s.Peak()))
+}

@@ -1,0 +1,100 @@
+package power
+
+// This file composes the standard testbed power domains used by every
+// experiment: the server box (BMC domain) and the SNIC card (Yocto-Watt
+// domain), with the SNIC nested inside the server — the BMC measures all
+// PCIe devices, which is exactly why the paper needed the riser rig to
+// isolate the card.
+
+// Name lets a Model nest inside another Model as a Component.
+func (m *Model) Name() string { return m.Label }
+
+// Signals carries the live utilization feeds the power model scales with.
+type Signals struct {
+	// HostCPU is the host core pool's instantaneous busy fraction.
+	HostCPU UtilizationSource
+	// HostMemBW is the host memory subsystem's bandwidth utilization.
+	HostMemBW UtilizationSource
+	// SNICCPU is the Arm core pool's busy fraction.
+	SNICCPU UtilizationSource
+	// SNICEngines is the accelerator engines' aggregate busy fraction.
+	SNICEngines UtilizationSource
+	// WireUtil is the network port's utilization: the NIC datapath,
+	// PCIe and DRAM churn of moving bits scales with it (this is what
+	// makes a wire-saturating fio run cost ~90 W over idle in Table 5
+	// even though its CPU use is one core).
+	WireUtil UtilizationSource
+}
+
+func zeroUtil() float64 { return 0 }
+
+func orZero(u UtilizationSource) UtilizationSource {
+	if u == nil {
+		return zeroUtil
+	}
+	return u
+}
+
+// Budget is the component-level calibration of the 252 W / 150.6 W /
+// 29 W / 5.4 W anchors.
+type Budget struct {
+	HostCPUIdleW      Watts
+	HostCPUMaxActiveW Watts
+	HostDRAMIdleW     Watts
+	HostDRAMMaxW      Watts
+	MiscMaxActiveW    Watts // fans/VRM ramp with host activity
+	IOTrafficMaxW     Watts // NIC datapath + PCIe + DRAM churn at line rate
+	SNICSoCIdleW      Watts
+	SNICCPUMaxW       Watts
+	SNICEngineMaxW    Watts
+	RestFixedW        Watts // motherboard, PSU loss, storage, idle fans
+}
+
+// DefaultBudget splits the paper's anchors across components:
+//
+//	idle:   140 (rest) + 58 (host CPU) + 25 (DRAM) + 29 (SNIC) = 252 W
+//	active: 105 (CPU) + 15 (DRAM) + 20.6 (misc) + 10 (I/O)    = 150.6 W
+//	SNIC:   3.4 (Arm cores) + 2.0 (engines)                   = 5.4 W
+//
+// IOTrafficMaxW is 70 W at full line rate, but the CPU-bound workloads
+// behind the 150.6 W anchor saturate the cores at ~15% wire utilization,
+// contributing ~10 W of it there.
+func DefaultBudget() Budget {
+	return Budget{
+		HostCPUIdleW:      58,
+		HostCPUMaxActiveW: 105,
+		HostDRAMIdleW:     25,
+		HostDRAMMaxW:      15,
+		MiscMaxActiveW:    20.6,
+		IOTrafficMaxW:     70,
+		SNICSoCIdleW:      SNICIdleW,
+		SNICCPUMaxW:       3.4,
+		SNICEngineMaxW:    2.0,
+		RestFixedW:        140,
+	}
+}
+
+// Testbed is the pair of measurement domains.
+type Testbed struct {
+	// Server is the BMC domain: the whole box including the SNIC.
+	Server *Model
+	// SNIC is the Yocto-Watt domain: the card alone.
+	SNIC *Model
+}
+
+// NewTestbed wires the standard domains from a budget and live signals.
+func NewTestbed(b Budget, sig Signals) *Testbed {
+	snic := NewModel("snic")
+	snic.Add(Fixed{Label: "snic-soc-idle", W: b.SNICSoCIdleW})
+	snic.Add(Linear{Label: "snic-arm-cores", MaxActiveW: b.SNICCPUMaxW, Util: orZero(sig.SNICCPU)})
+	snic.Add(Linear{Label: "snic-engines", MaxActiveW: b.SNICEngineMaxW, Util: orZero(sig.SNICEngines)})
+
+	server := NewModel("server")
+	server.Add(Fixed{Label: "rest-of-server", W: b.RestFixedW})
+	server.Add(Linear{Label: "host-cpu", IdleW: b.HostCPUIdleW, MaxActiveW: b.HostCPUMaxActiveW, Util: orZero(sig.HostCPU)})
+	server.Add(Linear{Label: "host-dram", IdleW: b.HostDRAMIdleW, MaxActiveW: b.HostDRAMMaxW, Util: orZero(sig.HostMemBW)})
+	server.Add(Linear{Label: "misc-active", MaxActiveW: b.MiscMaxActiveW, Util: orZero(sig.HostCPU)})
+	server.Add(Linear{Label: "io-traffic", MaxActiveW: b.IOTrafficMaxW, Util: orZero(sig.WireUtil)})
+	server.Add(snic)
+	return &Testbed{Server: server, SNIC: snic}
+}

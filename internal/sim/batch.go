@@ -1,0 +1,107 @@
+package sim
+
+// BatchStation models a hardware engine that processes work in batches:
+// the BlueField-2 REM and compression accelerators accept task batches
+// assembled by staging CPU cores and retire whole batches at a fixed
+// engine rate.
+//
+// Tasks accumulate until either MaxBatch tasks are pending or MaxWait has
+// elapsed since the first task of the batch arrived, then the batch is
+// submitted to an internal single-server engine whose service time is
+// PerBatch + sum(per-task service). Batching amortizes submission overhead
+// (raising throughput) at the cost of added queueing latency — exactly the
+// throughput/latency trade the paper observes for the SNIC accelerators.
+type BatchStation struct {
+	eng *Engine
+
+	// MaxBatch is the largest number of tasks submitted at once.
+	MaxBatch int
+	// MaxWait bounds how long the first task of a batch waits for
+	// companions before the batch is flushed anyway.
+	MaxWait Duration
+	// PerBatch is the fixed engine overhead per batch submission
+	// (doorbell + DMA descriptor fetch).
+	PerBatch Duration
+
+	engine  *Station
+	pending []*Job
+	timer   EventID
+	armed   bool
+
+	completed uint64
+	batches   uint64
+}
+
+// NewBatchStation returns a batching engine with one internal server.
+func NewBatchStation(eng *Engine, maxBatch int, maxWait, perBatch Duration) *BatchStation {
+	if maxBatch <= 0 {
+		panic("sim: batch size must be positive")
+	}
+	return &BatchStation{
+		eng:      eng,
+		MaxBatch: maxBatch,
+		MaxWait:  maxWait,
+		PerBatch: perBatch,
+		engine:   NewStation(eng, 1),
+	}
+}
+
+// Submit adds a task to the current batch.
+func (b *BatchStation) Submit(j *Job) {
+	if j == nil {
+		panic("sim: Submit(nil)")
+	}
+	b.pending = append(b.pending, j)
+	if len(b.pending) >= b.MaxBatch {
+		b.flush()
+		return
+	}
+	if !b.armed {
+		b.armed = true
+		b.timer = b.eng.After(b.MaxWait, func() {
+			b.armed = false
+			b.flush()
+		})
+	}
+}
+
+// flush submits the accumulated batch to the engine.
+func (b *BatchStation) flush() {
+	if b.armed {
+		b.eng.Cancel(b.timer)
+		b.armed = false
+	}
+	if len(b.pending) == 0 {
+		return
+	}
+	batch := b.pending
+	b.pending = nil
+	b.batches++
+	total := b.PerBatch
+	for _, j := range batch {
+		total += j.Service
+	}
+	b.engine.Submit(&Job{
+		Service: total,
+		Done: func(start, end Time) {
+			b.completed += uint64(len(batch))
+			for _, j := range batch {
+				if j.Done != nil {
+					j.Done(start, end)
+				}
+			}
+		},
+	})
+}
+
+// Completed returns the number of tasks retired.
+func (b *BatchStation) Completed() uint64 { return b.completed }
+
+// Batches returns the number of batches submitted to the engine.
+func (b *BatchStation) Batches() uint64 { return b.batches }
+
+// EngineQueueLen returns the number of batches waiting behind the engine.
+func (b *BatchStation) EngineQueueLen() int { return b.engine.QueueLen() }
+
+// Utilization returns the engine's busy fraction.
+func (b *BatchStation) Utilization() float64 { return b.engine.Utilization() }

@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Engine is a single-threaded discrete-event simulation kernel.
+//
+// Events are closures scheduled at absolute virtual times; Run pops them in
+// timestamp order (FIFO among equal timestamps, by insertion sequence) and
+// executes them. Event handlers may schedule further events. The engine is
+// not safe for concurrent use: determinism is the whole point, and all
+// model code runs on the event loop.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	nextID uint64
+	// cancelled holds the IDs of scheduled events that were cancelled
+	// before firing. Entries are dropped lazily when popped.
+	cancelled map[uint64]struct{}
+	executed  uint64
+}
+
+// NewEngine returns an engine with the clock at zero and an empty queue.
+func NewEngine() *Engine {
+	return &Engine{cancelled: make(map[uint64]struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have fired so far. Useful for progress
+// accounting and for asserting that a model actually did work.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports how many events are waiting in the queue (including
+// cancelled events that have not yet been lazily discarded).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID uint64
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a model bug and silently clamping would hide
+// causality violations.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	e.nextID++
+	id := e.nextID
+	e.seq++
+	heap.Push(&e.queue, &event{at: t, seq: e.seq, id: id, fn: fn})
+	return EventID(id)
+}
+
+// After schedules fn to run d after the current time.
+func (e *Engine) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: scheduling event %v in the past", d))
+	}
+	return e.At(e.now.Add(d), fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op; the common use is
+// disarming timeout guards.
+func (e *Engine) Cancel(id EventID) {
+	e.cancelled[uint64(id)] = struct{}{}
+}
+
+// Step executes the single earliest pending event. It reports false when
+// the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*event)
+		if _, dead := e.cancelled[ev.id]; dead {
+			delete(e.cancelled, ev.id)
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to the deadline. Events scheduled after the deadline remain queued.
+func (e *Engine) RunUntil(deadline Time) {
+	for len(e.queue) > 0 && e.queue[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// event is a queue entry. seq breaks timestamp ties so that events
+// scheduled earlier run earlier, which keeps FIFO semantics for models that
+// schedule several events "now".
+type event struct {
+	at  Time
+	seq uint64
+	id  uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,89 @@
+package sim
+
+// Link models a serializing transmission resource: an Ethernet port, a
+// PCIe lane bundle, or a memory channel. A payload of n bytes occupies the
+// link for n*8/rate seconds (store-and-forward), then arrives after an
+// additional fixed propagation delay.
+//
+// Link is a single-server FIFO: frames cannot overtake each other, which
+// is exactly how wire serialization behaves and is what produces
+// line-rate saturation effects.
+type Link struct {
+	eng         *Engine
+	rateBits    float64
+	propagation Duration
+	freeAt      Time
+
+	// Statistics.
+	bytesSent  uint64
+	framesSent uint64
+	busyTime   Duration
+}
+
+// NewLink returns a link with the given rate in bits/s and one-way
+// propagation delay.
+func NewLink(eng *Engine, rateBitsPerSec float64, propagation Duration) *Link {
+	if rateBitsPerSec <= 0 {
+		panic("sim: link rate must be positive")
+	}
+	if propagation < 0 {
+		panic("sim: negative propagation delay")
+	}
+	return &Link{eng: eng, rateBits: rateBitsPerSec, propagation: propagation}
+}
+
+// RateBits returns the link rate in bits/s.
+func (l *Link) RateBits() float64 { return l.rateBits }
+
+// Send transmits size bytes and invokes deliver at the instant the last
+// bit arrives at the far end. It returns the departure completion time
+// (when the link frees up, before propagation).
+func (l *Link) Send(size int, deliver func()) Time {
+	now := l.eng.Now()
+	start := now
+	if l.freeAt > start {
+		start = l.freeAt
+	}
+	ser := DurationOf(size, l.rateBits)
+	done := start.Add(ser)
+	l.freeAt = done
+	l.bytesSent += uint64(size)
+	l.framesSent++
+	l.busyTime += ser
+	arrival := done.Add(l.propagation)
+	l.eng.At(arrival, func() {
+		if deliver != nil {
+			deliver()
+		}
+	})
+	return done
+}
+
+// Backlog returns how far in the future the link is already committed,
+// i.e. the serialization queue depth expressed as time.
+func (l *Link) Backlog() Duration {
+	now := l.eng.Now()
+	if l.freeAt <= now {
+		return 0
+	}
+	return l.freeAt.Sub(now)
+}
+
+// BytesSent returns the total payload bytes transmitted.
+func (l *Link) BytesSent() uint64 { return l.bytesSent }
+
+// FramesSent returns the number of Send calls completed or in flight.
+func (l *Link) FramesSent() uint64 { return l.framesSent }
+
+// Utilization returns busy time divided by elapsed virtual time.
+func (l *Link) Utilization() float64 {
+	elapsed := l.eng.Now().Sub(0)
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(l.busyTime) / float64(elapsed)
+	if u > 1 {
+		u = 1 // transmissions scheduled into the future
+	}
+	return u
+}

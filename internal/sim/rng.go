@@ -1,0 +1,187 @@
+package sim
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (SplitMix64 core) with the distribution helpers simulation models need.
+//
+// We deliberately do not use math/rand: models embed an RNG per component
+// so that adding a new component never perturbs the random stream of an
+// existing one, which keeps calibrated experiments stable across refactors.
+type RNG struct {
+	state uint64
+}
+
+// NewRNG returns a generator seeded with seed. Two RNGs with the same seed
+// produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	return &RNG{state: seed ^ 0x9e3779b97f4a7c15}
+}
+
+// Fork derives an independent child generator. The child's stream is a pure
+// function of the parent's current state and the label, so component trees
+// can hand out sub-streams deterministically.
+func (r *RNG) Fork(label uint64) *RNG {
+	return NewRNG(r.Uint64() ^ (label * 0xbf58476d1ce4e5b9))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Uint64n returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n(0)")
+	}
+	// Rejection sampling to avoid modulo bias.
+	max := ^uint64(0) - ^uint64(0)%n
+	for {
+		v := r.Uint64()
+		if v < max {
+			return v % n
+		}
+	}
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Exp returns an exponentially distributed duration with the given mean.
+// Exponential inter-arrivals give Poisson packet arrivals, the standard
+// open-loop load model used by the paper's pktgen-style generators.
+func (r *RNG) Exp(mean Duration) Duration {
+	if mean <= 0 {
+		return 0
+	}
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return Duration(-math.Log(u) * float64(mean))
+}
+
+// Normal returns a normally distributed value (Box–Muller).
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	for u1 == 0 {
+		u1 = r.Float64()
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormalDur returns a log-normally distributed duration whose underlying
+// normal has the given median and sigma. Service-time jitter in real systems
+// is right-skewed; log-normal is the conventional fit and is what produces
+// realistic p99/median gaps in our latency distributions.
+func (r *RNG) LogNormalDur(median Duration, sigma float64) Duration {
+	if median <= 0 {
+		return 0
+	}
+	z := r.Normal(0, sigma)
+	return Duration(float64(median) * math.Exp(z))
+}
+
+// Pareto returns a bounded Pareto sample in [min, max] with shape alpha.
+// Used for heavy-tailed burst sizes in the hyperscaler trace generator.
+func (r *RNG) Pareto(min, max, alpha float64) float64 {
+	if min <= 0 || max <= min {
+		panic("sim: Pareto requires 0 < min < max")
+	}
+	u := r.Float64()
+	ha := math.Pow(max, alpha)
+	la := math.Pow(min, alpha)
+	x := -(u*ha - u*la - ha) / (ha * la)
+	return math.Pow(x, -1/alpha)
+}
+
+// Zipf draws from a Zipf distribution over [0, n) with exponent s using
+// rejection-inversion (Hörmann–Derflinger). It matches the key popularity
+// skew of YCSB-style workloads.
+type Zipf struct {
+	r            *RNG
+	n            uint64
+	s            float64
+	oneMinusS    float64
+	hIntegralX1  float64
+	hIntegralNum float64
+	sDiv         float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent s (s != 1 is
+// handled; s == 1 uses the limit form).
+func NewZipf(r *RNG, n uint64, s float64) *Zipf {
+	if n == 0 {
+		panic("sim: NewZipf(n=0)")
+	}
+	z := &Zipf{r: r, n: n, s: s, oneMinusS: 1 - s}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralNum = z.hIntegral(float64(n) + 0.5)
+	z.sDiv = 2 - z.hIntegralInv(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+func (z *Zipf) h(x float64) float64 { return math.Exp(-z.s * math.Log(x)) }
+
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX
+}
+
+func (z *Zipf) hIntegralInv(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// Next returns the next Zipf sample in [0, n).
+func (z *Zipf) Next() uint64 {
+	for {
+		u := z.hIntegralNum + z.r.Float64()*(z.hIntegralX1-z.hIntegralNum)
+		x := z.hIntegralInv(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > float64(z.n) {
+			k = float64(z.n)
+		}
+		if k-x <= z.sDiv || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k) - 1
+		}
+	}
+}
+
+// helper1 computes log1p(x)/x with a series fallback near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1/3.0-x*0.25))
+}
+
+// helper2 computes expm1(x)/x with a series fallback near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1/3.0)*(1+x*0.25))
+}

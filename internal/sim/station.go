@@ -1,0 +1,128 @@
+package sim
+
+// Job is a unit of work submitted to a Station. Service is the time a
+// server spends on it; Done is invoked on completion (it may be nil).
+type Job struct {
+	Service Duration
+	Done    func(start, end Time)
+	// Size optionally carries a byte size for utilization accounting by
+	// callers; the station itself does not interpret it.
+	Size int
+}
+
+// Station is a multi-server FIFO queue: the canonical model of a pool of
+// CPU cores or a fixed-function engine with k parallel lanes.
+//
+// Jobs queue when all servers are busy. There is no preemption: datacenter
+// packet processing runs to completion per packet, and the paper's
+// latency behaviour (queueing delay exploding past the service-capacity
+// knee) falls directly out of this model.
+type Station struct {
+	eng     *Engine
+	servers int
+	busy    int
+	queue   []*Job
+	// Capacity limits the queue length; zero means unbounded. When the
+	// queue is full new jobs are dropped and counted — this is how NIC RX
+	// rings shed load at overrun.
+	Capacity int
+
+	// Statistics.
+	completed  uint64
+	dropped    uint64
+	busyTime   Duration
+	lastChange Time
+	queuePeak  int
+}
+
+// NewStation returns a station with the given number of parallel servers.
+func NewStation(eng *Engine, servers int) *Station {
+	if servers <= 0 {
+		panic("sim: station needs at least one server")
+	}
+	return &Station{eng: eng, servers: servers}
+}
+
+// Servers returns the number of parallel servers.
+func (s *Station) Servers() int { return s.servers }
+
+// Busy returns how many servers are currently serving a job.
+func (s *Station) Busy() int { return s.busy }
+
+// QueueLen returns the number of jobs waiting (not in service).
+func (s *Station) QueueLen() int { return len(s.queue) }
+
+// Completed returns the number of jobs fully served.
+func (s *Station) Completed() uint64 { return s.completed }
+
+// Dropped returns the number of jobs rejected due to a full queue.
+func (s *Station) Dropped() uint64 { return s.dropped }
+
+// Utilization returns the mean fraction of busy server-time observed so
+// far: busy server-seconds divided by servers × elapsed virtual time.
+func (s *Station) Utilization() float64 {
+	s.accrue()
+	elapsed := s.eng.Now().Sub(0)
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(s.busyTime) / (float64(elapsed) * float64(s.servers))
+}
+
+// QueuePeak returns the maximum queue length observed.
+func (s *Station) QueuePeak() int { return s.queuePeak }
+
+// Submit enqueues a job. It reports false if the job was dropped because
+// the queue is at capacity.
+func (s *Station) Submit(j *Job) bool {
+	if j == nil {
+		panic("sim: Submit(nil)")
+	}
+	if s.busy < s.servers {
+		s.start(j)
+		return true
+	}
+	if s.Capacity > 0 && len(s.queue) >= s.Capacity {
+		s.dropped++
+		return false
+	}
+	s.queue = append(s.queue, j)
+	if len(s.queue) > s.queuePeak {
+		s.queuePeak = len(s.queue)
+	}
+	return true
+}
+
+func (s *Station) start(j *Job) {
+	s.accrue()
+	s.busy++
+	begin := s.eng.Now()
+	s.eng.After(j.Service, func() {
+		s.accrue()
+		s.busy--
+		s.completed++
+		// Dispatch queued work BEFORE invoking Done: a closed-loop
+		// client that re-submits from its completion callback must go
+		// to the back of the queue, not steal the freed server.
+		s.dispatch()
+		if j.Done != nil {
+			j.Done(begin, s.eng.Now())
+		}
+	})
+}
+
+func (s *Station) dispatch() {
+	for s.busy < s.servers && len(s.queue) > 0 {
+		j := s.queue[0]
+		s.queue[0] = nil
+		s.queue = s.queue[1:]
+		s.start(j)
+	}
+}
+
+// accrue folds busy-time since the last state change into the counter.
+func (s *Station) accrue() {
+	now := s.eng.Now()
+	s.busyTime += now.Sub(s.lastChange) * Duration(s.busy)
+	s.lastChange = now
+}

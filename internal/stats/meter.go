@@ -1,0 +1,175 @@
+package stats
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Meter accumulates operation and byte counts over virtual time and
+// reports rates. It is the throughput instrument: "maximum sustainable
+// throughput" in the experiments is a Meter read at the end of the
+// measurement window.
+type Meter struct {
+	ops   uint64
+	bytes uint64
+	start sim.Time
+	end   sim.Time
+	open  bool
+}
+
+// NewMeter returns a meter whose window opens at start.
+func NewMeter(start sim.Time) *Meter {
+	return &Meter{start: start, end: start, open: true}
+}
+
+// Mark records one operation of the given byte size at time now.
+func (m *Meter) Mark(now sim.Time, size int) {
+	if !m.open {
+		return
+	}
+	m.ops++
+	m.bytes += uint64(size)
+	if now > m.end {
+		m.end = now
+	}
+}
+
+// Close freezes the window at now; later Marks are ignored. Closing lets
+// an experiment stop measuring at a well-defined instant while the
+// simulation drains.
+func (m *Meter) Close(now sim.Time) {
+	if now > m.end {
+		m.end = now
+	}
+	m.open = false
+}
+
+// Ops returns the operation count.
+func (m *Meter) Ops() uint64 { return m.ops }
+
+// Bytes returns the byte count.
+func (m *Meter) Bytes() uint64 { return m.bytes }
+
+// Elapsed returns the window length.
+func (m *Meter) Elapsed() sim.Duration { return m.end.Sub(m.start) }
+
+// OpsPerSec returns the operation rate over the window.
+func (m *Meter) OpsPerSec() float64 {
+	el := m.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.ops) / el
+}
+
+// Gbps returns the data rate over the window in gigabits per second.
+func (m *Meter) Gbps() float64 {
+	el := m.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(m.bytes) * 8 / el / 1e9
+}
+
+func (m *Meter) String() string {
+	return fmt.Sprintf("%d ops, %.3f Gb/s over %v", m.ops, m.Gbps(), m.Elapsed())
+}
+
+// TimeSeries records (time, value) points, e.g. a power trace or the
+// Fig. 7 network data-rate trace.
+type TimeSeries struct {
+	Times  []sim.Time
+	Values []float64
+}
+
+// Add appends a point. Times must be non-decreasing.
+func (ts *TimeSeries) Add(t sim.Time, v float64) {
+	if n := len(ts.Times); n > 0 && t < ts.Times[n-1] {
+		panic("stats: time series points must be added in time order")
+	}
+	ts.Times = append(ts.Times, t)
+	ts.Values = append(ts.Values, v)
+}
+
+// Len returns the number of points.
+func (ts *TimeSeries) Len() int { return len(ts.Times) }
+
+// Mean returns the arithmetic mean of the values (not time-weighted).
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.Values) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range ts.Values {
+		sum += v
+	}
+	return sum / float64(len(ts.Values))
+}
+
+// Max returns the largest value.
+func (ts *TimeSeries) Max() float64 {
+	var max float64
+	for i, v := range ts.Values {
+		if i == 0 || v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// Min returns the smallest value.
+func (ts *TimeSeries) Min() float64 {
+	var min float64
+	for i, v := range ts.Values {
+		if i == 0 || v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// TimeWeightedMean integrates the series (step-wise, value held until the
+// next sample) and divides by total time. This is how average power is
+// computed from a sensor trace.
+func (ts *TimeSeries) TimeWeightedMean() float64 {
+	n := len(ts.Times)
+	if n == 0 {
+		return 0
+	}
+	if n == 1 {
+		return ts.Values[0]
+	}
+	var integral float64
+	for i := 0; i < n-1; i++ {
+		dt := ts.Times[i+1].Sub(ts.Times[i]).Seconds()
+		integral += ts.Values[i] * dt
+	}
+	total := ts.Times[n-1].Sub(ts.Times[0]).Seconds()
+	if total <= 0 {
+		return ts.Values[0]
+	}
+	return integral / total
+}
+
+// Downsample returns a series with at most maxPoints points, averaging
+// value runs. Used to render long traces compactly.
+func (ts *TimeSeries) Downsample(maxPoints int) *TimeSeries {
+	if maxPoints <= 0 || ts.Len() <= maxPoints {
+		return ts
+	}
+	out := &TimeSeries{}
+	stride := (ts.Len() + maxPoints - 1) / maxPoints
+	for i := 0; i < ts.Len(); i += stride {
+		end := i + stride
+		if end > ts.Len() {
+			end = ts.Len()
+		}
+		var sum float64
+		for _, v := range ts.Values[i:end] {
+			sum += v
+		}
+		out.Add(ts.Times[i], sum/float64(end-i))
+	}
+	return out
+}

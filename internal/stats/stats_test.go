@@ -1,0 +1,219 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Duration(i) * sim.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d, want 100", h.Count())
+	}
+	if h.Min() != sim.Microsecond {
+		t.Fatalf("min = %v, want 1µs", h.Min())
+	}
+	if h.Max() != 100*sim.Microsecond {
+		t.Fatalf("max = %v, want 100µs", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 50*sim.Microsecond || mean > 51*sim.Microsecond {
+		t.Fatalf("mean = %v, want ~50.5µs", mean)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	var raw []sim.Duration
+	r := sim.NewRNG(1)
+	for i := 0; i < 50000; i++ {
+		d := r.LogNormalDur(10*sim.Microsecond, 0.5)
+		h.Record(d)
+		raw = append(raw, d)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		got := float64(h.Quantile(q))
+		want := float64(ExactQuantile(raw, q))
+		if rel := math.Abs(got-want) / want; rel > 0.05 {
+			t.Errorf("q=%v: histogram %v vs exact %v (rel err %.3f)", q, got, want, rel)
+		}
+	}
+}
+
+func TestHistogramEmptyIsZero(t *testing.T) {
+	h := NewHistogram()
+	if h.P99() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramExtremeQuantiles(t *testing.T) {
+	h := NewHistogram()
+	h.Record(5)
+	h.Record(500)
+	if h.Quantile(0) != 5 {
+		t.Fatalf("q0 = %v, want 5", h.Quantile(0))
+	}
+	if h.Quantile(1) != 500 {
+		t.Fatalf("q1 = %v, want 500", h.Quantile(1))
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(sim.Microsecond)
+		b.Record(100 * sim.Microsecond)
+	}
+	a.Merge(b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d, want 200", a.Count())
+	}
+	if a.Max() != 100*sim.Microsecond || a.Min() != sim.Microsecond {
+		t.Fatal("merge lost min/max")
+	}
+	p50 := a.P50()
+	if p50 < sim.Microsecond || p50 > 110*sim.Microsecond {
+		t.Fatalf("merged p50 = %v out of plausible range", p50)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Record(1000)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+}
+
+func TestHistogramNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative duration did not panic")
+		}
+	}()
+	NewHistogram().Record(-1)
+}
+
+// Property: quantiles are monotone in q, and bounded by [min, max].
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRNG(seed)
+		h := NewHistogram()
+		for i := 0; i < 500; i++ {
+			h.Record(sim.Duration(r.Uint64n(1_000_000) + 1))
+		}
+		prev := sim.Duration(0)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := h.Quantile(q)
+			if v < prev || v < h.Min() || v > h.Max() {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeterRates(t *testing.T) {
+	m := NewMeter(0)
+	// 1000 ops × 1250 bytes over 1 ms = 10 Gb/s, 1 Mops/s.
+	for i := 1; i <= 1000; i++ {
+		m.Mark(sim.Time(i)*sim.Time(sim.Microsecond), 1250)
+	}
+	if g := m.Gbps(); math.Abs(g-10) > 0.01 {
+		t.Fatalf("Gbps = %v, want 10", g)
+	}
+	if o := m.OpsPerSec(); math.Abs(o-1e6) > 1e3 {
+		t.Fatalf("ops/s = %v, want 1e6", o)
+	}
+}
+
+func TestMeterCloseFreezes(t *testing.T) {
+	m := NewMeter(0)
+	m.Mark(100, 10)
+	m.Close(200)
+	m.Mark(300, 10) // ignored
+	if m.Ops() != 1 {
+		t.Fatalf("ops = %d, want 1 (post-close mark must be ignored)", m.Ops())
+	}
+	if m.Elapsed() != 200 {
+		t.Fatalf("elapsed = %v, want 200", m.Elapsed())
+	}
+}
+
+func TestMeterEmpty(t *testing.T) {
+	m := NewMeter(0)
+	if m.Gbps() != 0 || m.OpsPerSec() != 0 {
+		t.Fatal("empty meter should report zero rates")
+	}
+}
+
+func TestTimeSeriesStats(t *testing.T) {
+	ts := &TimeSeries{}
+	ts.Add(0, 10)
+	ts.Add(sim.Time(sim.Second), 20)
+	ts.Add(2*sim.Time(sim.Second), 30)
+	if ts.Mean() != 20 {
+		t.Fatalf("mean = %v, want 20", ts.Mean())
+	}
+	if ts.Max() != 30 || ts.Min() != 10 {
+		t.Fatal("min/max wrong")
+	}
+	// Step integral: 10*1s + 20*1s over 2s = 15.
+	if tw := ts.TimeWeightedMean(); tw != 15 {
+		t.Fatalf("time-weighted mean = %v, want 15", tw)
+	}
+}
+
+func TestTimeSeriesOrderEnforced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-order add did not panic")
+		}
+	}()
+	ts := &TimeSeries{}
+	ts.Add(100, 1)
+	ts.Add(50, 2)
+}
+
+func TestTimeSeriesDownsample(t *testing.T) {
+	ts := &TimeSeries{}
+	for i := 0; i < 1000; i++ {
+		ts.Add(sim.Time(i), float64(i))
+	}
+	ds := ts.Downsample(10)
+	if ds.Len() > 10 {
+		t.Fatalf("downsampled to %d points, want <= 10", ds.Len())
+	}
+	// Mean must be approximately preserved.
+	if math.Abs(ds.Mean()-ts.Mean()) > 50 {
+		t.Fatalf("downsample shifted mean: %v vs %v", ds.Mean(), ts.Mean())
+	}
+}
+
+func TestExactQuantile(t *testing.T) {
+	samples := []sim.Duration{50, 10, 40, 20, 30}
+	if q := ExactQuantile(samples, 0.5); q != 30 {
+		t.Fatalf("median = %v, want 30", q)
+	}
+	if q := ExactQuantile(samples, 0); q != 10 {
+		t.Fatalf("q0 = %v, want 10", q)
+	}
+	if q := ExactQuantile(samples, 1); q != 50 {
+		t.Fatalf("q1 = %v, want 50", q)
+	}
+	if q := ExactQuantile(nil, 0.5); q != 0 {
+		t.Fatalf("empty = %v, want 0", q)
+	}
+}

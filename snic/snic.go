@@ -1,0 +1,224 @@
+// Package snic is the public API of the SmartNIC datacenter-tax testbed:
+// a deterministic, calibrated simulation of the IISWC 2023 study "Making
+// Sense of Using a SmartNIC to Reduce Datacenter Tax from SLO and TCO
+// Perspectives" (Huang et al.).
+//
+// The testbed reproduces the paper's methodology end to end: thirteen
+// TCP/UDP-, DPDK- and RDMA-based functions run on three execution
+// platforms — the host Xeon CPU, the BlueField-2-like SNIC's Arm cores,
+// and its fixed-function accelerators — while calibrated power models
+// stand in for the paper's BMC and Yocto-Watt instruments. On top sit
+// the paper's experiments (Fig. 4–7, Tables 4–5) and the §5.3 strategies
+// (offload advisor, SNIC↔host load balancer).
+//
+// Quick start:
+//
+//	bench, _ := snic.LookupBenchmark("redis", "workload_a")
+//	res := snic.NewTestbed().MaxThroughput(bench, snic.HostCPU)
+//	fmt.Println(res.TputGbps, res.Latency.P99, res.ServerPowerW)
+//
+// Everything is virtual-time and seeded: identical inputs give identical
+// results, byte for byte, regardless of host load or GC behaviour.
+package snic
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/tco"
+	"repro/internal/trace"
+)
+
+// Platform is an execution target for a benchmark.
+type Platform = core.Platform
+
+// The three platforms of the paper's Table 3.
+const (
+	HostCPU   = core.HostCPU
+	SNICCPU   = core.SNICCPU
+	SNICAccel = core.SNICAccel
+)
+
+// Benchmark is one function/variant of the paper's benchmark matrix.
+type Benchmark = core.Config
+
+// Measurement is one experiment result cell.
+type Measurement = core.Measurement
+
+// Fig4Row, Fig5Point and TraceReplayResult are experiment outputs.
+type (
+	Fig4Row           = core.Fig4Row
+	Fig5Point         = core.Fig5Point
+	TraceReplayResult = core.TraceReplayResult
+)
+
+// Duration is virtual time (nanoseconds).
+type Duration = sim.Duration
+
+// Common durations.
+const (
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Benchmarks returns the full catalog (Table 3 plus microbenchmarks).
+func Benchmarks() []*Benchmark { return core.Catalog() }
+
+// LookupBenchmark finds a catalog entry by function and variant name.
+func LookupBenchmark(function, variant string) (*Benchmark, error) {
+	return core.Lookup(function, variant)
+}
+
+// Testbed runs benchmarks and experiments.
+type Testbed struct {
+	runner *core.Runner
+}
+
+// NewTestbed returns a testbed with the paper's §3.1 configuration:
+// 8 host cores vs the 8-core SNIC, 2 accelerator staging cores, 100 GbE.
+func NewTestbed() *Testbed {
+	return &Testbed{runner: core.NewRunner()}
+}
+
+// MaxThroughput finds a benchmark's maximum sustainable throughput on a
+// platform and measures p99 latency and system-wide power there — the
+// paper's §4 methodology.
+func (t *Testbed) MaxThroughput(b *Benchmark, p Platform) Measurement {
+	return t.runner.MaxThroughput(b, p)
+}
+
+// Run measures one fixed operating point (offered rate in Gb/s of
+// request payload; ignored by closed-loop benchmarks).
+func (t *Testbed) Run(b *Benchmark, p Platform, offeredGbps float64, requests int) Measurement {
+	opts := core.DefaultRunOpts()
+	if requests > 0 {
+		opts.Requests = requests
+	}
+	opts.OfferedGbps = offeredGbps
+	return t.runner.Run(b, p, opts)
+}
+
+// Fig4 reproduces the paper's headline figure over the whole catalog.
+// This runs dozens of max-throughput searches; expect tens of seconds.
+func (t *Testbed) Fig4() []Fig4Row { return t.runner.Fig4() }
+
+// Fig4For reproduces Fig. 4 for a subset.
+func (t *Testbed) Fig4For(benchmarks []*Benchmark) []Fig4Row {
+	return t.runner.Fig4For(benchmarks)
+}
+
+// Fig5 sweeps REM offered rates (Gb/s) and returns the three curves.
+func (t *Testbed) Fig5(rates []float64) []Fig5Point {
+	if rates == nil {
+		rates = core.DefaultFig5Rates()
+	}
+	return t.runner.Fig5(rates)
+}
+
+// Table4 replays the hyperscaler trace through REM on the host and the
+// SNIC accelerator (§5.1).
+func (t *Testbed) Table4() []TraceReplayResult {
+	return t.runner.Table4(core.DefaultTable4Config())
+}
+
+// HyperscalerTrace returns the Fig. 7 synthetic datacenter trace.
+func HyperscalerTrace() *trace.HyperscalerTrace {
+	return trace.NewHyperscalerTrace(trace.DefaultHyperscalerConfig())
+}
+
+// ---- TCO (§5.2) ----
+
+// TCORow is one Table 5 column.
+type TCORow = tco.Row
+
+// TCOInput is a fleet measurement for the TCO model.
+type TCOInput = tco.AppMeasurement
+
+// PaperTable5 reproduces Table 5 from the published inputs.
+func PaperTable5() []TCORow { return tco.PaperTable5() }
+
+// AnalyzeTCO computes a Table 5 column from your own measurements using
+// the paper's cost parameters.
+func AnalyzeTCO(app string, snicFleet, nicFleet TCOInput) TCORow {
+	return tco.PaperCostModel().Analyze(app, snicFleet, nicFleet)
+}
+
+// ---- Strategies (§5.3) ----
+
+// Advisor predicts per-platform behaviour and recommends offload
+// decisions under an SLO (Strategy 2).
+type Advisor = core.Advisor
+
+// Recommendation is the advisor's output.
+type Recommendation = core.Recommendation
+
+// NewAdvisor returns an advisor over the default testbed.
+func NewAdvisor() *Advisor { return core.NewAdvisor() }
+
+// LoadBalancer splits traffic between the SNIC accelerator and host
+// (Strategy 3).
+type LoadBalancer = core.LoadBalancer
+
+// BalancedResult reports a balanced replay.
+type BalancedResult = core.BalancedResult
+
+// SoftwareBalancer returns the paper's prototyped software balancer
+// (per-packet monitoring cost on the SNIC cores, coarse reaction).
+func SoftwareBalancer() LoadBalancer { return core.DefaultLoadBalancer() }
+
+// HardwareBalancer returns the paper's proposed hardware-assisted
+// balancer (free monitoring, per-packet redirection).
+func HardwareBalancer() LoadBalancer { return core.HWLoadBalancer() }
+
+// RunBalanced replays a rate trace through the balancer.
+func (t *Testbed) RunBalanced(lb LoadBalancer, tr *trace.HyperscalerTrace, hostCores int, seed uint64) BalancedResult {
+	return t.runner.RunBalanced(lb, tr, hostCores, seed)
+}
+
+// BurstyTrace builds a synthetic bursty rate trace for balancer studies.
+func BurstyTrace(baseGbps, burstGbps float64, points, burstEvery int, interval Duration) *trace.HyperscalerTrace {
+	return core.BurstyTrace(baseGbps, burstGbps, points, burstEvery, interval)
+}
+
+// ---- Rendering ----
+
+// RenderFig4 writes the Fig. 4 tables.
+func RenderFig4(w io.Writer, rows []Fig4Row) { report.Fig4(w, rows) }
+
+// RenderFig5 writes the Fig. 5 series.
+func RenderFig5(w io.Writer, points []Fig5Point) { report.Fig5(w, points) }
+
+// RenderFig6 writes the Fig. 6 power/efficiency table.
+func RenderFig6(w io.Writer, rows []Fig4Row) { report.Fig6(w, rows) }
+
+// RenderFig7 writes the Fig. 7 sparkline.
+func RenderFig7(w io.Writer, tr *trace.HyperscalerTrace) { report.Fig7(w, tr.Series(), 96) }
+
+// RenderTable4 writes the Table 4 comparison.
+func RenderTable4(w io.Writer, rows []TraceReplayResult) { report.Table4(w, rows) }
+
+// RenderTable5 writes the Table 5 TCO analysis.
+func RenderTable5(w io.Writer, rows []TCORow) { report.Table5(w, rows) }
+
+// FunctionalReport summarizes an execution-driven verification run.
+type FunctionalReport = core.FunctionalReport
+
+// RunFunctional executes n REAL operations of a benchmark's actual
+// implementation (the matcher matches, Deflate deflates, the KVS stores)
+// and verifies every output against an independent oracle. Zero failures
+// is the expected result of a correct build.
+func RunFunctional(function, variant string, n int, seed uint64) (FunctionalReport, error) {
+	return core.RunFunctional(function, variant, n, seed)
+}
+
+// Version identifies the testbed release.
+const Version = "1.0.0"
+
+// Describe summarizes a benchmark for help output.
+func Describe(b *Benchmark) string {
+	return fmt.Sprintf("%s [%s, %s] platforms=%v", b.Name(), b.Stack, b.Category, b.Platforms)
+}

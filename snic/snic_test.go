@@ -1,0 +1,100 @@
+package snic_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/snic"
+)
+
+func TestCatalogAccessible(t *testing.T) {
+	bs := snic.Benchmarks()
+	if len(bs) < 25 {
+		t.Fatalf("catalog has %d entries, want the full Table 3 matrix", len(bs))
+	}
+	b, err := snic.LookupBenchmark("redis", "workload_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(snic.Describe(b), "redis/workload_a") {
+		t.Fatal("Describe missing name")
+	}
+}
+
+func TestRunThroughFacade(t *testing.T) {
+	b, _ := snic.LookupBenchmark("nat", "10K")
+	tb := snic.NewTestbed()
+	m := tb.Run(b, snic.HostCPU, 0.5, 4000)
+	if m.Ops == 0 || m.Latency.P99 <= 0 {
+		t.Fatalf("facade run produced no measurement: %v", m)
+	}
+	if m.ServerPowerW < 252 {
+		t.Fatalf("power below idle: %v", m.ServerPowerW)
+	}
+}
+
+func TestFacadeDeterminism(t *testing.T) {
+	b, _ := snic.LookupBenchmark("udp-echo", "1024B")
+	a := snic.NewTestbed().Run(b, snic.SNICCPU, 0.5, 3000)
+	c := snic.NewTestbed().Run(b, snic.SNICCPU, 0.5, 3000)
+	if a.TputGbps != c.TputGbps || a.Latency.P99 != c.Latency.P99 {
+		t.Fatal("facade runs not deterministic")
+	}
+}
+
+func TestPaperTable5ThroughFacade(t *testing.T) {
+	rows := snic.PaperTable5()
+	if len(rows) != 4 {
+		t.Fatalf("Table 5 has %d rows", len(rows))
+	}
+	var sb strings.Builder
+	snic.RenderTable5(&sb, rows)
+	if !strings.Contains(sb.String(), "70.7%") {
+		t.Fatal("rendered Table 5 missing the compression savings")
+	}
+}
+
+func TestAnalyzeTCOFacade(t *testing.T) {
+	row := snic.AnalyzeTCO("demo",
+		snic.TCOInput{ThroughputGbps: 2, PowerW: 255},
+		snic.TCOInput{ThroughputGbps: 1, PowerW: 300})
+	if row.ServersNIC != 20 {
+		t.Fatalf("NIC fleet = %d, want 20", row.ServersNIC)
+	}
+	if row.SavingsFrac <= 0 {
+		t.Fatal("2x throughput at lower power must save money")
+	}
+}
+
+func TestAdvisorFacade(t *testing.T) {
+	a := snic.NewAdvisor()
+	b, _ := snic.LookupBenchmark("compress", "app")
+	rec := a.Advise(b, 0)
+	if rec.Chosen != snic.SNICAccel {
+		t.Fatalf("compression should offload to the engine: %v", rec)
+	}
+}
+
+func TestHyperscalerTraceFacade(t *testing.T) {
+	tr := snic.HyperscalerTrace()
+	if m := tr.MeanGbps(); m < 0.75 || m > 0.77 {
+		t.Fatalf("trace mean = %v", m)
+	}
+	var sb strings.Builder
+	snic.RenderFig7(&sb, tr)
+	if !strings.Contains(sb.String(), "Fig. 7") {
+		t.Fatal("Fig. 7 render broken")
+	}
+}
+
+func TestBalancerFacade(t *testing.T) {
+	tb := snic.NewTestbed()
+	tr := snic.BurstyTrace(4, 70, 12, 4, 2*snic.Millisecond)
+	res := tb.RunBalanced(snic.HardwareBalancer(), tr, 8, 1)
+	if res.AvgTputGbps <= 0 {
+		t.Fatalf("balanced run produced nothing: %v", res)
+	}
+	if res.HostShare <= 0 {
+		t.Fatal("bursts above engine capacity must spill to the host")
+	}
+}
