@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: verify build test vet race bench faults
+
+# Tier-1 verification: everything CI and reviewers gate on.
+verify: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem .
+
+# Regenerate the fault-scenario experiment family.
+faults:
+	$(GO) run ./cmd/snicbench -exp faults

@@ -11,6 +11,7 @@
 //	snicbench -exp table4            # trace replay comparison
 //	snicbench -exp table5            # 5-year TCO (paper + measured inputs)
 //	snicbench -exp strategies        # §5.3 advisor + load balancer
+//	snicbench -exp faults            # trace replay under injected faults
 //	snicbench -exp specs             # Tables 1 & 2 hardware specs
 //	snicbench -exp catalog           # Table 3 benchmark matrix
 //	snicbench -exp functional        # verify the real implementations
@@ -33,7 +34,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "fig4", "experiment: fig4, fig5, fig6, fig7, table4, table5, strategies, specs, catalog, functional, all")
+	exp := flag.String("exp", "fig4", "experiment: fig4, fig5, fig6, fig7, table4, table5, strategies, faults, specs, catalog, functional, all")
 	fn := flag.String("func", "", "restrict fig4/fig6 to one function (e.g. redis)")
 	flag.Parse()
 
@@ -52,6 +53,8 @@ func main() {
 		runTable5()
 	case "strategies":
 		runStrategies()
+	case "faults":
+		runFaults()
 	case "specs":
 		runSpecs()
 	case "catalog":
@@ -69,6 +72,7 @@ func main() {
 		runTable4()
 		runTable5()
 		runStrategies()
+		runFaults()
 	default:
 		fmt.Fprintf(os.Stderr, "snicbench: unknown experiment %q\n", *exp)
 		os.Exit(2)
@@ -184,6 +188,25 @@ func runStrategies() {
 	} {
 		fmt.Printf("  %-40s %v\n", run.name, run.res)
 	}
+}
+
+// runFaults replays the hyperscaler trace while injecting the three
+// stock fault scenarios, with the health-aware router failing REM work
+// over to the host. The first row is the fault-free baseline.
+func runFaults() {
+	fmt.Println("== Fault scenarios: REM trace replay with failover ==")
+	tbed := snic.NewTestbed()
+	tr := snic.HyperscalerTrace().Compress(400 * snic.Microsecond)
+	router := func() *snic.HealthRouter {
+		return snic.NewHealthRouter(snic.HardwareBalancer(), snic.DefaultFailoverPolicy())
+	}
+	base := tbed.RunFaulted(snic.FaultScenario{Name: "baseline"}, router(), tr, 2, 42)
+	var rows []snic.FaultResult
+	for _, scn := range snic.DefaultFaultScenarios(tr.Duration()) {
+		fmt.Printf("  %-12s %s\n", scn.Name+":", scn.Desc)
+		rows = append(rows, tbed.RunFaulted(scn, router(), tr, 2, 42))
+	}
+	snic.RenderFaults(os.Stdout, base, rows)
 }
 
 func runFunctional() {

@@ -16,10 +16,60 @@
 package accel
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/sim"
 )
+
+// Health is an engine's operational state. Real BlueField-class engines
+// are not always healthy: Liu et al. and the DPA off-path studies report
+// engine stalls, saturation cliffs, and outright wedges requiring a
+// driver-level reset. The fault layer drives these transitions.
+type Health int
+
+const (
+	// Healthy: accepting and retiring work normally.
+	Healthy Health = iota
+	// Stalled: accepting work, but the pipeline is wedged — queued batches
+	// do not retire until the stall clears.
+	Stalled
+	// Down: crashed. Submissions are rejected with an *EngineError until
+	// Recover (the driver reset) runs.
+	Down
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Stalled:
+		return "stalled"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("health(%d)", int(h))
+	}
+}
+
+// ErrEngineDown is the sentinel matched by errors.Is for any submission
+// rejected because the target engine is not accepting work.
+var ErrEngineDown = errors.New("accel: engine down")
+
+// EngineError is the typed rejection returned when work is submitted to a
+// crashed engine. A silent drop here would orphan the caller's completion
+// callback — the failover machinery needs the rejection to reroute.
+type EngineError struct {
+	Engine string
+	State  Health
+}
+
+func (e *EngineError) Error() string {
+	return fmt.Sprintf("accel: %s is %s, submission rejected", e.Engine, e.State)
+}
+
+// Unwrap lets errors.Is(err, ErrEngineDown) match.
+func (e *EngineError) Unwrap() error { return ErrEngineDown }
 
 // ByteEngine is a fixed-rate streaming engine (REM scan, Deflate): task
 // service time is proportional to payload bytes.
@@ -33,6 +83,12 @@ type ByteEngine struct {
 
 	batch *sim.BatchStation
 	eng   *sim.Engine
+
+	down bool
+	// rateFactor scales the effective service rate in (0,1]; the fault
+	// layer lowers it to model clock/thermal degradation. 0 means unset.
+	rateFactor float64
+	rejected   uint64
 }
 
 // ByteEngineConfig carries the batching parameters of a ByteEngine.
@@ -59,14 +115,69 @@ func NewByteEngine(eng *sim.Engine, cfg ByteEngineConfig) *ByteEngine {
 	}
 }
 
-// Submit queues one task of size bytes; done fires when its batch retires.
-func (b *ByteEngine) Submit(size int, done func(start, end sim.Time)) {
-	svc := sim.DurationOf(size, b.RateBits) + b.PerTaskOverhead
+// Submit queues one task of size bytes; done fires when its batch
+// retires. Submitting to a crashed engine returns an *EngineError
+// (matching ErrEngineDown) and done never fires — callers that can
+// failover reroute on the rejection.
+func (b *ByteEngine) Submit(size int, done func(start, end sim.Time)) error {
+	if b.down {
+		b.rejected++
+		return &EngineError{Engine: b.Name, State: Down}
+	}
+	svc := sim.DurationOf(size, b.effectiveRate()) + b.PerTaskOverhead
 	b.batch.Submit(&sim.Job{Service: svc, Done: done, Size: size})
+	return nil
+}
+
+// effectiveRate applies any degradation factor to the nominal rate.
+func (b *ByteEngine) effectiveRate() float64 {
+	if b.rateFactor > 0 {
+		return b.RateBits * b.rateFactor
+	}
+	return b.RateBits
+}
+
+// Fail crashes the engine: submissions are rejected until Recover.
+func (b *ByteEngine) Fail() { b.down = true }
+
+// Recover resets a crashed engine (the driver-level reset) and clears any
+// active stall gate. Work queued before a stall resumes retiring; a rate
+// degradation persists until SetRateFactor(1).
+func (b *ByteEngine) Recover() {
+	b.down = false
+	b.batch.Stall(b.eng.Now())
+}
+
+// Stall wedges the engine pipeline until t: tasks keep queueing but no
+// batch retires before the stall clears.
+func (b *ByteEngine) Stall(t sim.Time) { b.batch.Stall(t) }
+
+// SetRateFactor degrades the engine's service rate to f × nominal for
+// subsequently submitted tasks. f must be in (0,1]; 1 restores full rate.
+func (b *ByteEngine) SetRateFactor(f float64) {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("accel: %s rate factor %v outside (0,1]", b.Name, f))
+	}
+	b.rateFactor = f
+}
+
+// Health reports the engine's current operational state.
+func (b *ByteEngine) Health() Health {
+	switch {
+	case b.down:
+		return Down
+	case b.batch.Stalled():
+		return Stalled
+	default:
+		return Healthy
+	}
 }
 
 // Completed returns retired task count.
 func (b *ByteEngine) Completed() uint64 { return b.batch.Completed() }
+
+// Rejected returns submissions refused while the engine was down.
+func (b *ByteEngine) Rejected() uint64 { return b.rejected }
 
 // Utilization returns the engine busy fraction.
 func (b *ByteEngine) Utilization() float64 { return b.batch.Utilization() }
@@ -135,6 +246,10 @@ type PKAEngine struct {
 
 	station *sim.Station
 	eng     *sim.Engine
+
+	down       bool
+	rateFactor float64
+	rejected   uint64
 }
 
 // NewPKAEngine returns the BlueField-2 crypto block with calibrated
@@ -156,28 +271,81 @@ func NewPKAEngine(eng *sim.Engine) *PKAEngine {
 	}
 }
 
-// SubmitBulk queues size bytes of a bulk algorithm.
-func (p *PKAEngine) SubmitBulk(algo PKAAlgo, size int, done func(start, end sim.Time)) {
+// SubmitBulk queues size bytes of a bulk algorithm. A crashed engine
+// rejects the command with an *EngineError (matching ErrEngineDown).
+func (p *PKAEngine) SubmitBulk(algo PKAAlgo, size int, done func(start, end sim.Time)) error {
 	rate, ok := p.BulkRateBits[algo]
 	if !ok {
 		panic(fmt.Sprintf("accel: %s is not a bulk PKA algorithm", algo))
 	}
+	if p.down {
+		p.rejected++
+		return &EngineError{Engine: "BF-2 PKA", State: Down}
+	}
+	if p.rateFactor > 0 {
+		rate *= p.rateFactor
+	}
 	svc := sim.DurationOf(size, rate) + p.CommandOverhead
 	p.station.Submit(&sim.Job{Service: svc, Done: done, Size: size})
+	return nil
 }
 
 // SubmitOp queues one op-based command (e.g. one RSA-2048 signature).
-func (p *PKAEngine) SubmitOp(algo PKAAlgo, done func(start, end sim.Time)) {
+// A crashed engine rejects it with an *EngineError.
+func (p *PKAEngine) SubmitOp(algo PKAAlgo, done func(start, end sim.Time)) error {
 	rate, ok := p.OpRate[algo]
 	if !ok {
 		panic(fmt.Sprintf("accel: %s is not an op-based PKA algorithm", algo))
 	}
+	if p.down {
+		p.rejected++
+		return &EngineError{Engine: "BF-2 PKA", State: Down}
+	}
+	if p.rateFactor > 0 {
+		rate *= p.rateFactor
+	}
 	svc := sim.Duration(float64(sim.Second)/rate) + p.CommandOverhead
 	p.station.Submit(&sim.Job{Service: svc, Done: done})
+	return nil
+}
+
+// Fail crashes the engine: submissions are rejected until Recover.
+func (p *PKAEngine) Fail() { p.down = true }
+
+// Recover resets a crashed engine and clears any stall gate.
+func (p *PKAEngine) Recover() {
+	p.down = false
+	p.station.StallUntil(p.eng.Now())
+}
+
+// Stall wedges the command pipeline until t.
+func (p *PKAEngine) Stall(t sim.Time) { p.station.StallUntil(t) }
+
+// SetRateFactor degrades the per-command rates to f × nominal.
+func (p *PKAEngine) SetRateFactor(f float64) {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("accel: PKA rate factor %v outside (0,1]", f))
+	}
+	p.rateFactor = f
+}
+
+// Health reports the engine's current operational state.
+func (p *PKAEngine) Health() Health {
+	switch {
+	case p.down:
+		return Down
+	case p.station.Stalled():
+		return Stalled
+	default:
+		return Healthy
+	}
 }
 
 // Completed returns retired command count.
 func (p *PKAEngine) Completed() uint64 { return p.station.Completed() }
+
+// Rejected returns submissions refused while the engine was down.
+func (p *PKAEngine) Rejected() uint64 { return p.rejected }
 
 // Utilization returns the engine busy fraction.
 func (p *PKAEngine) Utilization() float64 { return p.station.Utilization() }

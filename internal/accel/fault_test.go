@@ -1,0 +1,119 @@
+package accel
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCrashedEngineReturnsTypedError(t *testing.T) {
+	eng := sim.NewEngine()
+	be := REMEngine(eng)
+	be.Fail()
+	fired := false
+	err := be.Submit(1500, func(_, _ sim.Time) { fired = true })
+	if err == nil {
+		t.Fatal("submit to a crashed engine returned nil error")
+	}
+	if !errors.Is(err, ErrEngineDown) {
+		t.Fatalf("err = %v, want errors.Is(_, ErrEngineDown)", err)
+	}
+	var ee *EngineError
+	if !errors.As(err, &ee) {
+		t.Fatalf("err = %T, want *EngineError", err)
+	}
+	if ee.State != Down {
+		t.Fatalf("EngineError.State = %v, want Down", ee.State)
+	}
+	eng.Run()
+	if fired {
+		t.Fatal("done callback fired for a rejected submission")
+	}
+	if be.Rejected() != 1 {
+		t.Fatalf("Rejected() = %d, want 1", be.Rejected())
+	}
+	if be.Health() != Down {
+		t.Fatalf("Health() = %v, want Down", be.Health())
+	}
+
+	be.Recover()
+	if be.Health() != Healthy {
+		t.Fatalf("Health() after Recover = %v, want Healthy", be.Health())
+	}
+	if err := be.Submit(1500, nil); err != nil {
+		t.Fatalf("submit after Recover returned %v", err)
+	}
+}
+
+func TestCrashedPKAReturnsTypedError(t *testing.T) {
+	eng := sim.NewEngine()
+	pka := NewPKAEngine(eng)
+	pka.Fail()
+	if err := pka.SubmitBulk(AlgoAES, 1024, nil); !errors.Is(err, ErrEngineDown) {
+		t.Fatalf("SubmitBulk err = %v, want ErrEngineDown", err)
+	}
+	if err := pka.SubmitOp(AlgoRSA, nil); !errors.Is(err, ErrEngineDown) {
+		t.Fatalf("SubmitOp err = %v, want ErrEngineDown", err)
+	}
+	if pka.Rejected() != 2 {
+		t.Fatalf("Rejected() = %d, want 2", pka.Rejected())
+	}
+	pka.Recover()
+	if err := pka.SubmitOp(AlgoRSA, nil); err != nil {
+		t.Fatalf("SubmitOp after Recover returned %v", err)
+	}
+}
+
+// Degrading the rate must stretch service time proportionally: one task
+// alone in a batch at factor 0.5 takes twice the payload time.
+func TestRateFactorDegradesServiceRate(t *testing.T) {
+	eng := sim.NewEngine()
+	timeFor := func(factor float64) sim.Duration {
+		e := sim.NewEngine()
+		be := REMEngine(e)
+		if factor > 0 {
+			be.SetRateFactor(factor)
+		}
+		var end sim.Time
+		be.Submit(1500, func(_, e2 sim.Time) { end = e2 })
+		e.Run()
+		return end.Sub(0)
+	}
+	full := timeFor(0)
+	half := timeFor(0.5)
+	if half <= full {
+		t.Fatalf("degraded completion %v not later than full-rate %v", half, full)
+	}
+	// The payload-proportional part doubles; overheads (batch wait,
+	// per-batch, per-task) are unchanged.
+	extra := half - full
+	payload := sim.DurationOf(1500, 66e9)
+	if extra < payload*9/10 || extra > payload*11/10 {
+		t.Fatalf("degradation added %v, want ~%v (payload time at half rate)", extra, payload)
+	}
+	_ = eng
+}
+
+// A stalled engine keeps accepting work but retires nothing until the
+// stall clears.
+func TestStallDefersRetirementUntilClear(t *testing.T) {
+	eng := sim.NewEngine()
+	be := REMEngine(eng)
+	stallEnd := sim.Time(5 * sim.Millisecond)
+	be.Stall(stallEnd)
+	var end sim.Time
+	if err := be.Submit(1500, func(_, e2 sim.Time) { end = e2 }); err != nil {
+		t.Fatalf("submit to a stalled engine returned %v (stall must queue, not reject)", err)
+	}
+	if be.Health() != Stalled {
+		t.Fatalf("Health() = %v, want Stalled", be.Health())
+	}
+	eng.Run()
+	if end < stallEnd {
+		t.Fatalf("task retired at %v, before the stall cleared at %v", end, stallEnd)
+	}
+	if be.Completed() != 1 {
+		t.Fatalf("Completed() = %d, want 1 after stall cleared", be.Completed())
+	}
+}

@@ -140,7 +140,12 @@ func (r *Runner) RunBalanced(lb LoadBalancer, tr *trace.HyperscalerTrace, hostCo
 		}
 		svc := jit.LogNormalDur(sim.Cycles(stage/snicSpec.IPC, snicSpec.BaseHz), 0.15)
 		staging.ExecDuration(svc, func(_, _ sim.Time) {
-			tb.REM.Submit(pkt.Size, func(_, _ sim.Time) { record(pkt.SentAt) })
+			if err := tb.REM.Submit(pkt.Size, func(_, _ sim.Time) { record(pkt.SentAt) }); err != nil {
+				// A crashed engine rejects the task; spill it to the host
+				// instead of losing the packet.
+				snicServed--
+				serveHost(pkt)
+			}
 		})
 	}
 

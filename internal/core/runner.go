@@ -325,19 +325,24 @@ func (ctx *runctx) accelSink(pkt *nic.Packet) {
 	})
 }
 
-// engineSubmit dispatches one task to the config's engine.
+// engineSubmit dispatches one task to the config's engine. No fault plan
+// runs through this path, so a rejection can only be a wiring bug.
 func (ctx *runctx) engineSubmit(size int, done func()) {
+	var err error
 	switch ctx.cfg.Engine {
 	case EngineREM:
-		ctx.tb.REM.Submit(size, func(_, _ sim.Time) { done() })
+		err = ctx.tb.REM.Submit(size, func(_, _ sim.Time) { done() })
 	case EngineDeflate:
-		ctx.tb.Deflate.Submit(size, func(_, _ sim.Time) { done() })
+		err = ctx.tb.Deflate.Submit(size, func(_, _ sim.Time) { done() })
 	case EnginePKABulk:
-		ctx.tb.PKA.SubmitBulk(ctx.cfg.PKAAlgo, size, func(_, _ sim.Time) { done() })
+		err = ctx.tb.PKA.SubmitBulk(ctx.cfg.PKAAlgo, size, func(_, _ sim.Time) { done() })
 	case EnginePKAOp:
-		ctx.tb.PKA.SubmitOp(ctx.cfg.PKAAlgo, func(_, _ sim.Time) { done() })
+		err = ctx.tb.PKA.SubmitOp(ctx.cfg.PKAAlgo, func(_, _ sim.Time) { done() })
 	default:
 		panic(fmt.Sprintf("core: %s has no engine binding", ctx.cfg.Name()))
+	}
+	if err != nil {
+		panic(err)
 	}
 }
 

@@ -48,6 +48,11 @@ type Pool struct {
 	// time. Real per-packet service times wobble with cache state and
 	// branch behaviour; this is what gives latency distributions a tail.
 	JitterSigma float64
+	// throttle scales the operating frequency in (0,1]; fault injection
+	// lowers it to model thermal or firmware-forced frequency drops (the
+	// BlueField-2's Arm cores throttle hard under sustained load). 0 means
+	// unset and is treated as 1.
+	throttle float64
 }
 
 // NewPool returns a pool of n cores of the given spec. n must not exceed
@@ -78,8 +83,31 @@ func (p *Pool) Governor() Governor { return p.governor }
 
 // FreqHz returns the operating frequency for active work. Both governors
 // serve work at BaseHz (ondemand ramps before work lands at our rates);
-// they differ in idle power, reported by IdleFraction.
-func (p *Pool) FreqHz() float64 { return p.Spec.BaseHz }
+// they differ in idle power, reported by IdleFraction. An active throttle
+// scales the frequency down, stretching every subsequent service time.
+func (p *Pool) FreqHz() float64 {
+	if p.throttle > 0 {
+		return p.Spec.BaseHz * p.throttle
+	}
+	return p.Spec.BaseHz
+}
+
+// SetThrottle caps the pool's frequency at f × BaseHz for work submitted
+// from now on. f must be in (0,1]; 1 restores full frequency.
+func (p *Pool) SetThrottle(f float64) {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("cpu: throttle factor %v outside (0,1]", f))
+	}
+	p.throttle = f
+}
+
+// ThrottleFactor returns the active frequency cap (1 when unthrottled).
+func (p *Pool) ThrottleFactor() float64 {
+	if p.throttle > 0 {
+		return p.throttle
+	}
+	return 1
+}
 
 // IdleFreqHz returns the frequency an idle core sits at, which the power
 // model maps to idle package power.

@@ -200,6 +200,28 @@ func (w *Wire) SendToClient(p *Packet, recv func(*Packet)) {
 	w.serverToClient.Send(p.Size+EthernetOverhead, func() { recv(p) })
 }
 
+// SetDown flaps both directions of the cable (carrier loss): frames sent
+// while down are lost in transit and never delivered. Transport-level
+// recovery — timeouts, retries — is the caller's job, exactly as on a
+// real wire.
+func (w *Wire) SetDown(down bool) {
+	w.clientToServer.SetDown(down)
+	w.serverToClient.SetDown(down)
+}
+
+// Down reports whether the wire is currently flapped.
+func (w *Wire) Down() bool { return w.clientToServer.Down() }
+
+// SetRateFactor caps both directions at factor × line rate (a link
+// renegotiated down under thermal or signal-integrity pressure).
+func (w *Wire) SetRateFactor(f float64) {
+	w.clientToServer.SetRateFactor(f)
+	w.serverToClient.SetRateFactor(f)
+}
+
+// Lost returns frames lost to flaps, both directions combined.
+func (w *Wire) Lost() uint64 { return w.clientToServer.Lost() + w.serverToClient.Lost() }
+
 // ServerDirUtilization reports the client→server direction utilization.
 func (w *Wire) ServerDirUtilization() float64 { return w.clientToServer.Utilization() }
 

@@ -1,0 +1,39 @@
+package power
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSensorDropoutSkipsSamples(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewBMCSensor(eng, func() Watts { return 100 })
+	// 10-second run; sensor offline until t=6 s. Ticks land at 1..10 s,
+	// so the ones at 1..5 s (strictly before 6 s) are missed.
+	s.DropUntil(sim.Time(6 * sim.Second))
+	s.Start(sim.Time(10 * sim.Second))
+	eng.Run()
+	if s.MissedSamples() != 5 {
+		t.Fatalf("missed = %d samples, want 5 (ticks at 1..5s)", s.MissedSamples())
+	}
+	if s.Trace.Len() != 5 {
+		t.Fatalf("trace has %d samples, want 5 (ticks at 6..10s)", s.Trace.Len())
+	}
+	if avg := s.Average(); avg != 100 {
+		t.Fatalf("average over surviving samples = %v, want 100", avg)
+	}
+}
+
+func TestSensorWithoutDropoutMissesNothing(t *testing.T) {
+	eng := sim.NewEngine()
+	s := NewYoctoWattSensor(eng, func() Watts { return 29 })
+	s.Start(sim.Time(2 * sim.Second))
+	eng.Run()
+	if s.MissedSamples() != 0 {
+		t.Fatalf("missed = %d, want 0", s.MissedSamples())
+	}
+	if s.Trace.Len() == 0 {
+		t.Fatal("no samples recorded")
+	}
+}

@@ -134,6 +134,11 @@ type Sensor struct {
 	Trace   stats.TimeSeries
 	eng     *sim.Engine
 	running bool
+	// dropUntil marks a sensor outage: ticks before this instant record
+	// nothing (the last good sample is effectively held by consumers, as a
+	// stale BMC reading would be). Missed samples are counted.
+	dropUntil sim.Time
+	missed    uint64
 }
 
 // NewBMCSensor returns the IPMI/DCMI instrument: 1 Hz, ±1 W.
@@ -157,11 +162,24 @@ func (s *Sensor) Start(until sim.Time) {
 		if s.eng.Now() > until {
 			return
 		}
-		s.Trace.Add(s.eng.Now(), float64(s.quantize(s.Source())))
+		if s.eng.Now() < s.dropUntil {
+			s.missed++
+		} else {
+			s.Trace.Add(s.eng.Now(), float64(s.quantize(s.Source())))
+		}
 		s.eng.After(s.Period, tick)
 	}
 	s.eng.After(s.Period, tick)
 }
+
+// DropUntil takes the sensor offline until t: ticks in the window record
+// nothing. BMC firmware hiccups and I2C bus contention do exactly this on
+// real hardware; experiments that integrate energy from the trace must
+// tolerate the gap.
+func (s *Sensor) DropUntil(t sim.Time) { s.dropUntil = t }
+
+// MissedSamples returns how many ticks fell inside dropout windows.
+func (s *Sensor) MissedSamples() uint64 { return s.missed }
 
 func (s *Sensor) quantize(w Watts) Watts {
 	if s.Quantum <= 0 {

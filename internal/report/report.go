@@ -186,6 +186,34 @@ func Table4(w io.Writer, rows []core.TraceReplayResult) {
 	t.Render(w)
 }
 
+// Faults renders the fault-scenario replay family: per scenario, the
+// throughput dip, the p99 split around the fault window, recovery time
+// and the request fates (retried / rescued / failed-over / dropped).
+func Faults(w io.Writer, baseline core.FaultResult, rows []core.FaultResult) {
+	t := NewTable("Fault scenarios — hyperscaler trace replay under injected faults",
+		"scenario", "tput Gb/s", "dip", "p99 pre", "p99 fault", "p99 post",
+		"recovery", "retries", "rescued", "failover", "dropped", "power W")
+	add := func(r core.FaultResult) {
+		t.Add(
+			r.Scenario,
+			fmt.Sprintf("%.2f", r.AvgTputGbps),
+			fmt.Sprintf("%.0f%%", (1-r.MinDeliveredFrac)*100),
+			r.P99Pre.String(), r.P99Fault.String(), r.P99Post.String(),
+			r.RecoveryTime.String(),
+			fmt.Sprintf("%d", r.Retries),
+			fmt.Sprintf("%d", r.Rescued),
+			fmt.Sprintf("%d", r.FailedOver),
+			fmt.Sprintf("%d", r.Dropped),
+			fmt.Sprintf("%.1f", r.AvgPowerW),
+		)
+	}
+	add(baseline)
+	for _, r := range rows {
+		add(r)
+	}
+	t.Render(w)
+}
+
 // Table5 renders the TCO analysis.
 func Table5(w io.Writer, rows []tco.Row) {
 	t := NewTable("Table 5 — 5-year TCO analysis",

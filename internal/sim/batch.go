@@ -103,5 +103,12 @@ func (b *BatchStation) Batches() uint64 { return b.batches }
 // EngineQueueLen returns the number of batches waiting behind the engine.
 func (b *BatchStation) EngineQueueLen() int { return b.engine.QueueLen() }
 
+// Stall wedges the internal engine until t (see Station.StallUntil):
+// batches starting before then hold the engine without retiring.
+func (b *BatchStation) Stall(t Time) { b.engine.StallUntil(t) }
+
+// Stalled reports whether the internal engine is currently stalled.
+func (b *BatchStation) Stalled() bool { return b.engine.Stalled() }
+
 // Utilization returns the engine's busy fraction.
 func (b *BatchStation) Utilization() float64 { return b.engine.Utilization() }

@@ -1,0 +1,115 @@
+package sim
+
+import "testing"
+
+// A long fault run disarms one timeout guard per request after it fires;
+// without sweeping, every one of those IDs would sit in the cancelled map
+// forever (fired events are never popped again).
+func TestEngineCancelSweepBoundsMemory(t *testing.T) {
+	e := NewEngine()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		id := e.After(1, func() {})
+		e.Run() // the guard fires...
+		e.Cancel(id)
+	}
+	if got := e.CancelledPending(); got > cancelSweepFloor+1 {
+		t.Fatalf("cancelled set grew to %d entries after %d fire-then-cancel cycles, want <= %d",
+			got, n, cancelSweepFloor+1)
+	}
+}
+
+// Sweeping must not change which pending events fire or their order.
+func TestEngineCancelSweepPreservesPendingEvents(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var ids []EventID
+	// Enough live events to interleave with cancels past the sweep floor.
+	for i := 0; i < 500; i++ {
+		i := i
+		ids = append(ids, e.At(Time(1000+i), func() { fired = append(fired, i) }))
+	}
+	// Cancel every odd event; the even ones must still fire in order.
+	for i := 1; i < 500; i += 2 {
+		e.Cancel(ids[i])
+	}
+	// Pile on fired-then-cancelled guards to force sweeps mid-stream.
+	for i := 0; i < 2000; i++ {
+		id := e.After(1, func() {})
+		e.Step()
+		e.Cancel(id)
+	}
+	e.Run()
+	if len(fired) != 250 {
+		t.Fatalf("fired %d events, want 250", len(fired))
+	}
+	for j, v := range fired {
+		if v != 2*j {
+			t.Fatalf("fired[%d] = %d, want %d (order disturbed by sweep)", j, v, 2*j)
+		}
+	}
+}
+
+// Cancelling a queued event must still work when a sweep ran in between.
+func TestEngineCancelAfterSweepStillCancels(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	target := e.At(10_000, func() { fired = true })
+	for i := 0; i < 1000; i++ {
+		id := e.After(1, func() {})
+		e.Step()
+		e.Cancel(id)
+	}
+	e.Cancel(target)
+	e.Run()
+	if fired {
+		t.Fatal("event cancelled after sweeps still fired")
+	}
+}
+
+func TestStationStallHoldsJobsUntilClear(t *testing.T) {
+	e := NewEngine()
+	s := NewStation(e, 1)
+	s.StallUntil(100)
+	var end Time
+	s.Submit(&Job{Service: 10, Done: func(_, e2 Time) { end = e2 }})
+	e.Run()
+	// Start at 0, stalled until 100, then 10 of service.
+	if end != 110 {
+		t.Fatalf("stalled job finished at %v, want 110", end)
+	}
+	if s.Stalled() {
+		t.Fatal("station still reports stalled after the gate passed")
+	}
+}
+
+func TestLinkDownLosesFramesAndUpDelivers(t *testing.T) {
+	e := NewEngine()
+	l := NewLink(e, 100e9, 0)
+	delivered := 0
+	l.SetDown(true)
+	l.Send(1250, func() { delivered++ })
+	e.Run()
+	if delivered != 0 || l.Lost() != 1 {
+		t.Fatalf("down link delivered=%d lost=%d, want 0/1", delivered, l.Lost())
+	}
+	l.SetDown(false)
+	l.Send(1250, func() { delivered++ })
+	e.Run()
+	if delivered != 1 || l.Lost() != 1 {
+		t.Fatalf("recovered link delivered=%d lost=%d, want 1/1", delivered, l.Lost())
+	}
+}
+
+func TestLinkRateFactorStretchesSerialization(t *testing.T) {
+	e := NewEngine()
+	l := NewLink(e, 100e9, 0)
+	// 1250 B at 100 Gb/s = 100 ns; at half rate = 200 ns.
+	l.SetRateFactor(0.5)
+	var arrived Time
+	l.Send(1250, func() { arrived = e.Now() })
+	e.Run()
+	if arrived != 200 {
+		t.Fatalf("capped link delivered at %v, want 200ns", arrived)
+	}
+}

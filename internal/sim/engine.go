@@ -70,9 +70,46 @@ func (e *Engine) After(d Duration, fn func()) EventID {
 // Cancel prevents a scheduled event from firing. Cancelling an event that
 // already fired (or was already cancelled) is a no-op; the common use is
 // disarming timeout guards.
+//
+// Cancelled entries are normally discarded lazily when popped, but a
+// cancel-heavy workload (timeout guards disarmed on every completion over
+// a long fault run) would grow the cancelled set without bound: IDs of
+// already-fired events are never popped again. When the set outgrows the
+// queue, Cancel sweeps both — dead entries leave the heap and the set is
+// reset — so memory stays proportional to live events.
 func (e *Engine) Cancel(id EventID) {
 	e.cancelled[uint64(id)] = struct{}{}
+	if len(e.cancelled) > cancelSweepFloor && len(e.cancelled) > len(e.queue) {
+		e.sweepCancelled()
+	}
 }
+
+// cancelSweepFloor keeps tiny simulations from sweeping on every cancel.
+const cancelSweepFloor = 64
+
+// sweepCancelled drops cancelled events from the queue eagerly and resets
+// the cancelled set. Event IDs are never reused, so forgetting IDs of
+// events that already fired is safe. Re-heapifying cannot perturb pop
+// order: (at, seq) is a total order, so any valid heap yields the same
+// sequence.
+func (e *Engine) sweepCancelled() {
+	kept := e.queue[:0]
+	for _, ev := range e.queue {
+		if _, dead := e.cancelled[ev.id]; !dead {
+			kept = append(kept, ev)
+		}
+	}
+	for i := len(kept); i < len(e.queue); i++ {
+		e.queue[i] = nil
+	}
+	e.queue = kept
+	heap.Init(&e.queue)
+	e.cancelled = make(map[uint64]struct{})
+}
+
+// CancelledPending reports how many cancelled-but-not-yet-discarded event
+// IDs are being tracked. Exposed for leak regression tests.
+func (e *Engine) CancelledPending() int { return len(e.cancelled) }
 
 // Step executes the single earliest pending event. It reports false when
 // the queue is empty.

@@ -1,5 +1,7 @@
 package sim
 
+import "fmt"
+
 // Link models a serializing transmission resource: an Ethernet port, a
 // PCIe lane bundle, or a memory channel. A payload of n bytes occupies the
 // link for n*8/rate seconds (store-and-forward), then arrives after an
@@ -13,11 +15,19 @@ type Link struct {
 	rateBits    float64
 	propagation Duration
 	freeAt      Time
+	// rateFactor scales the effective rate in (0,1]; fault injection uses
+	// it to model a link renegotiated down (e.g. thermal throttling to a
+	// lower PAM4 rate). 0 means "unset" and is treated as 1.
+	rateFactor float64
+	// down marks a flapped link: frames sent while down are lost in
+	// transit (no delivery), the model of a carrier drop.
+	down bool
 
 	// Statistics.
 	bytesSent  uint64
 	framesSent uint64
 	busyTime   Duration
+	lost       uint64
 }
 
 // NewLink returns a link with the given rate in bits/s and one-way
@@ -35,6 +45,34 @@ func NewLink(eng *Engine, rateBitsPerSec float64, propagation Duration) *Link {
 // RateBits returns the link rate in bits/s.
 func (l *Link) RateBits() float64 { return l.rateBits }
 
+// SetRateFactor caps the effective rate at factor × nominal for frames
+// sent from now on. Factor must be in (0, 1]; 1 restores full rate.
+func (l *Link) SetRateFactor(f float64) {
+	if f <= 0 || f > 1 {
+		panic(fmt.Sprintf("sim: link rate factor %v outside (0,1]", f))
+	}
+	l.rateFactor = f
+}
+
+// SetDown flaps the link. While down, every Send loses its frame: the
+// serialization slot is still consumed (the transmitter does not know the
+// carrier is gone) but delivery never happens.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Down reports whether the link is flapped.
+func (l *Link) Down() bool { return l.down }
+
+// Lost returns frames sent while the link was down.
+func (l *Link) Lost() uint64 { return l.lost }
+
+// effectiveRate returns the rate with any fault cap applied.
+func (l *Link) effectiveRate() float64 {
+	if l.rateFactor > 0 {
+		return l.rateBits * l.rateFactor
+	}
+	return l.rateBits
+}
+
 // Send transmits size bytes and invokes deliver at the instant the last
 // bit arrives at the far end. It returns the departure completion time
 // (when the link frees up, before propagation).
@@ -44,12 +82,16 @@ func (l *Link) Send(size int, deliver func()) Time {
 	if l.freeAt > start {
 		start = l.freeAt
 	}
-	ser := DurationOf(size, l.rateBits)
+	ser := DurationOf(size, l.effectiveRate())
 	done := start.Add(ser)
 	l.freeAt = done
 	l.bytesSent += uint64(size)
 	l.framesSent++
 	l.busyTime += ser
+	if l.down {
+		l.lost++
+		return done
+	}
 	arrival := done.Add(l.propagation)
 	l.eng.At(arrival, func() {
 		if deliver != nil {

@@ -26,6 +26,12 @@ type Station struct {
 	// queue is full new jobs are dropped and counted — this is how NIC RX
 	// rings shed load at overrun.
 	Capacity int
+	// stallUntil gates job starts: a job starting before this instant has
+	// the remaining stall prepended to its service time, modelling an
+	// engine whose pipeline is wedged (lanes held, no progress). Jobs
+	// already in service when the stall begins are unaffected — real engine
+	// stalls hit the fetch stage, not work already in the retire queue.
+	stallUntil Time
 
 	// Statistics.
 	completed  uint64
@@ -93,11 +99,23 @@ func (s *Station) Submit(j *Job) bool {
 	return true
 }
 
+// StallUntil wedges the station until t: jobs starting before then serve
+// only after the stall clears (their server is held busy meanwhile).
+// Passing a time in the past clears the stall.
+func (s *Station) StallUntil(t Time) { s.stallUntil = t }
+
+// Stalled reports whether a stall gate is currently active.
+func (s *Station) Stalled() bool { return s.stallUntil > s.eng.Now() }
+
 func (s *Station) start(j *Job) {
 	s.accrue()
 	s.busy++
 	begin := s.eng.Now()
-	s.eng.After(j.Service, func() {
+	svc := j.Service
+	if hold := s.stallUntil.Sub(begin); hold > 0 {
+		svc += hold
+	}
+	s.eng.After(svc, func() {
 		s.accrue()
 		s.busy--
 		s.completed++

@@ -184,6 +184,40 @@ func BurstyTrace(baseGbps, burstGbps float64, points, burstEvery int, interval D
 	return core.BurstyTrace(baseGbps, burstGbps, points, burstEvery, interval)
 }
 
+// ---- Fault injection & failover (robustness experiments) ----
+
+// FaultScenario is a named fault plan replayed against a trace.
+type FaultScenario = core.FaultScenario
+
+// FaultResult is one fault-scenario replay report.
+type FaultResult = core.FaultResult
+
+// FailoverPolicy carries the timeout/retry/backoff/watermark knobs.
+type FailoverPolicy = core.FailoverPolicy
+
+// HealthRouter is the health-aware extension of the §5.3 load balancer.
+type HealthRouter = core.HealthRouter
+
+// DefaultFailoverPolicy returns the trace-replay-tuned policy.
+func DefaultFailoverPolicy() FailoverPolicy { return core.DefaultFailoverPolicy() }
+
+// NewHealthRouter combines a balancer with a failover policy.
+func NewHealthRouter(lb LoadBalancer, pol FailoverPolicy) *HealthRouter {
+	return core.NewHealthRouter(lb, pol)
+}
+
+// DefaultFaultScenarios returns the three stock scenarios (accelerator
+// crash, link flap, SNIC core throttle) placed relative to a trace span.
+func DefaultFaultScenarios(span Duration) []FaultScenario {
+	return core.DefaultFaultScenarios(span)
+}
+
+// RunFaulted replays a trace while a fault scenario runs, with failover.
+// A scenario with an empty plan is the fault-free baseline.
+func (t *Testbed) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.HyperscalerTrace, hostCores int, seed uint64) FaultResult {
+	return t.runner.RunFaulted(scn, hr, tr, hostCores, seed)
+}
+
 // ---- Rendering ----
 
 // RenderFig4 writes the Fig. 4 tables.
@@ -203,6 +237,11 @@ func RenderTable4(w io.Writer, rows []TraceReplayResult) { report.Table4(w, rows
 
 // RenderTable5 writes the Table 5 TCO analysis.
 func RenderTable5(w io.Writer, rows []TCORow) { report.Table5(w, rows) }
+
+// RenderFaults writes the fault-scenario comparison table.
+func RenderFaults(w io.Writer, baseline FaultResult, rows []FaultResult) {
+	report.Faults(w, baseline, rows)
+}
 
 // FunctionalReport summarizes an execution-driven verification run.
 type FunctionalReport = core.FunctionalReport
