@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet race bench faults
+.PHONY: verify build test vet race bench bench-compare faults
 
 # Tier-1 verification: everything CI and reviewers gate on.
 verify: vet build race
@@ -19,6 +19,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem .
+
+# Record sequential vs parallel Fig. 4 wall-clock (and verify the two
+# produce identical rows) into BENCH_parallel.json.
+bench-compare:
+	$(GO) run ./cmd/benchcompare -out BENCH_parallel.json
 
 # Regenerate the fault-scenario experiment family.
 faults:

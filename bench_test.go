@@ -18,6 +18,7 @@ package repro
 //	BenchmarkAblation*             — batching, staging, governor choices
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/core"
@@ -26,6 +27,10 @@ import (
 	"repro/internal/trace"
 	"repro/snic"
 )
+
+// Benchmarks that re-run an experiment build a FRESH testbed every
+// iteration: the runner memoizes measurements, so re-measuring on one
+// testbed would time cache lookups instead of simulations.
 
 // fig4Subset runs the Fig. 4 pipeline over a category's entries.
 func fig4Subset(b *testing.B, cat core.Category, maxEntries int) {
@@ -39,11 +44,10 @@ func fig4Subset(b *testing.B, cat core.Category, maxEntries int) {
 			break
 		}
 	}
-	tb := snic.NewTestbed()
 	var rows []core.Fig4Row
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = tb.Fig4For(subset)
+		rows = snic.NewTestbed().Fig4For(subset)
 	}
 	b.StopTimer()
 	var sumT, sumP float64
@@ -70,12 +74,11 @@ func BenchmarkFig4Accelerated(b *testing.B) {
 }
 
 func BenchmarkFig5REMSweep(b *testing.B) {
-	tb := snic.NewTestbed()
 	rates := []float64{10, 20, 30, 40, 50, 60, 70, 80, 90}
 	var points []core.Fig5Point
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		points = tb.Fig5(rates)
+		points = snic.NewTestbed().Fig5(rates)
 	}
 	b.StopTimer()
 	// Report the accelerator's cap and the host exe peak (the figure's
@@ -99,11 +102,10 @@ func BenchmarkFig6PowerEfficiency(b *testing.B) {
 	// stack loser.
 	cmp, _ := core.Lookup("compress", "app")
 	udp, _ := core.Lookup("udp-echo", "64B")
-	tb := snic.NewTestbed()
 	var rows []core.Fig4Row
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		rows = tb.Fig4For([]*core.Config{cmp, udp})
+		rows = snic.NewTestbed().Fig4For([]*core.Config{cmp, udp})
 	}
 	b.StopTimer()
 	for _, r := range rows {
@@ -125,10 +127,9 @@ func BenchmarkFig7TraceGeneration(b *testing.B) {
 }
 
 func BenchmarkTable4TraceReplay(b *testing.B) {
-	r := core.NewRunner()
 	var rows []core.TraceReplayResult
 	for i := 0; i < b.N; i++ {
-		rows = r.Table4(core.DefaultTable4Config())
+		rows = core.NewRunner().Table4(core.DefaultTable4Config())
 	}
 	b.StopTimer()
 	for _, row := range rows {
@@ -169,6 +170,27 @@ func BenchmarkStrategyLoadBalancer(b *testing.B) {
 	b.ReportMetric(hw.P99.Micros(), "hardwareP99us")
 }
 
+// BenchmarkFig4ParallelSpeedup times the same Fig. 4 subset at
+// parallelism 1 and GOMAXPROCS; the ns/op ratio is the engine's
+// speedup. (On a single-core box the two coincide — see
+// cmd/benchcompare for the recorded comparison.)
+func BenchmarkFig4ParallelSpeedup(b *testing.B) {
+	var subset []*core.Config
+	for _, cfg := range core.Catalog() {
+		if cfg.Category == core.CategoryMicro {
+			subset = append(subset, cfg)
+		}
+	}
+	for _, j := range []int{1, runtime.GOMAXPROCS(0)} {
+		j := j
+		b.Run(benchName("j", j), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				snic.NewTestbed(snic.WithParallelism(j)).Fig4For(subset)
+			}
+		})
+	}
+}
+
 // ---- Ablations ----
 
 // BenchmarkAblationAcceleratorBatching quantifies the batch-size choice:
@@ -176,7 +198,6 @@ func BenchmarkStrategyLoadBalancer(b *testing.B) {
 // the throughput/latency trade behind the accelerators' p99.
 func BenchmarkAblationAcceleratorBatching(b *testing.B) {
 	base, _ := core.Lookup("compress", "app")
-	r := core.NewRunner()
 	for _, depth := range []int{1, 8, 48} {
 		cfg := *base
 		cfg.ClosedSNIC = depth
@@ -185,7 +206,7 @@ func BenchmarkAblationAcceleratorBatching(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				opts := core.DefaultRunOpts()
 				opts.Requests = 4000
-				m = r.Run(&cfg, core.SNICAccel, opts)
+				m = core.NewRunner().Run(&cfg, core.SNICAccel, opts)
 			}
 			b.StopTimer()
 			b.ReportMetric(m.TputGbps, "Gbps")
@@ -199,14 +220,15 @@ func BenchmarkAblationAcceleratorBatching(b *testing.B) {
 func BenchmarkAblationStagingCores(b *testing.B) {
 	base, _ := core.Lookup("rem", "file_executable")
 	for _, cores := range []int{1, 2, 4} {
-		r := core.NewRunner()
-		r.TBConfig.StagingCores = cores
+		cores := cores
 		cfg := *base
 		cfg.Mixed = false
 		cfg.ReqSize = 1500
 		var m core.Measurement
 		b.Run(benchName("staging", cores), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
+				r := core.NewRunner()
+				r.TBConfig.StagingCores = cores
 				opts := core.DefaultRunOpts()
 				opts.Requests = 8000
 				opts.OfferedGbps = 60
@@ -223,7 +245,6 @@ func BenchmarkAblationStagingCores(b *testing.B) {
 // knee, on the rule set where they diverge most.
 func BenchmarkAblationKneeCriterion(b *testing.B) {
 	base, _ := core.Lookup("rem", "file_image")
-	r := core.NewRunner()
 	for _, tc := range []struct {
 		name string
 		knee float64
@@ -236,7 +257,7 @@ func BenchmarkAblationKneeCriterion(b *testing.B) {
 		var m core.Measurement
 		b.Run(tc.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				m = r.MaxThroughput(&cfg, core.HostCPU)
+				m = core.NewRunner().MaxThroughput(&cfg, core.HostCPU)
 			}
 			b.StopTimer()
 			b.ReportMetric(m.TputGbps, "Gbps")

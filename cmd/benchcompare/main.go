@@ -1,0 +1,94 @@
+// Command benchcompare times the Fig. 4 pipeline sequentially and in
+// parallel on fresh testbeds, verifies the two produce identical rows,
+// and records the comparison as JSON — the repo's standing record of
+// what the parallel engine buys on a given machine.
+//
+// Usage:
+//
+//	benchcompare [-j N] [-out BENCH_parallel.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/snic"
+)
+
+// comparison is the JSON record benchcompare writes.
+type comparison struct {
+	Experiment     string  `json:"experiment"`
+	Benchmarks     int     `json:"benchmarks"`
+	CPUs           int     `json:"cpus"`
+	Parallelism    int     `json:"parallelism"`
+	SequentialSec  float64 `json:"sequential_sec"`
+	ParallelSec    float64 `json:"parallel_sec"`
+	Speedup        float64 `json:"speedup"`
+	Identical      bool    `json:"identical_results"`
+	SimsSequential uint64  `json:"sims_sequential"`
+	SimsParallel   uint64  `json:"sims_parallel"`
+}
+
+func main() {
+	jobs := flag.Int("j", runtime.NumCPU(), "parallelism for the parallel leg")
+	out := flag.String("out", "BENCH_parallel.json", "output path")
+	flag.Parse()
+
+	// The software-only group is the costliest Fig. 4 slice: enough work
+	// that the comparison means something, small enough to finish fast.
+	var subset []*core.Config
+	for _, cfg := range core.Catalog() {
+		if cfg.Category == core.CategorySoftware {
+			subset = append(subset, cfg)
+		}
+	}
+
+	run := func(j int) ([]core.Fig4Row, float64, uint64) {
+		tb := snic.NewTestbed(snic.WithParallelism(j))
+		start := time.Now()
+		rows := tb.Fig4For(subset)
+		return rows, time.Since(start).Seconds(), tb.Simulations()
+	}
+
+	seqRows, seqSec, seqSims := run(1)
+	parRows, parSec, parSims := run(*jobs)
+
+	c := comparison{
+		Experiment:     "fig4/software",
+		Benchmarks:     len(subset),
+		CPUs:           runtime.NumCPU(),
+		Parallelism:    *jobs,
+		SequentialSec:  seqSec,
+		ParallelSec:    parSec,
+		Identical:      reflect.DeepEqual(seqRows, parRows),
+		SimsSequential: seqSims,
+		SimsParallel:   parSims,
+	}
+	if parSec > 0 {
+		c.Speedup = seqSec / parSec
+	}
+
+	if !c.Identical {
+		fmt.Fprintln(os.Stderr, "benchcompare: PARALLEL RESULTS DIVERGE FROM SEQUENTIAL")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("fig4/software: %d benchmarks, sequential %.2fs, parallel(-j %d) %.2fs, speedup %.2fx, identical=%v\n",
+		len(subset), seqSec, *jobs, parSec, c.Speedup, c.Identical)
+}

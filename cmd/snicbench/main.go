@@ -16,12 +16,17 @@
 //	snicbench -exp catalog           # Table 3 benchmark matrix
 //	snicbench -exp functional        # verify the real implementations
 //	snicbench -exp all               # everything above
+//
+// -j N fans independent simulations across N goroutines (default: the
+// machine's CPU count). Results are merged in submission order, so the
+// output is byte-identical at every -j; progress goes to stderr only.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -33,28 +38,52 @@ import (
 	"repro/snic"
 )
 
+// validExps lists every -exp value, in the order "all" runs them.
+var validExps = []string{
+	"specs", "catalog", "functional",
+	"fig4", "fig5", "fig6", "fig7",
+	"table4", "table5",
+	"strategies", "faults",
+	"all",
+}
+
 func main() {
-	exp := flag.String("exp", "fig4", "experiment: fig4, fig5, fig6, fig7, table4, table5, strategies, faults, specs, catalog, functional, all")
+	exp := flag.String("exp", "fig4", "experiment: "+strings.Join(validExps, ", "))
 	fn := flag.String("func", "", "restrict fig4/fig6 to one function (e.g. redis)")
+	jobs := flag.Int("j", runtime.NumCPU(), "parallel simulations (output is identical at every -j)")
+	quiet := flag.Bool("q", false, "suppress the stderr progress line")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: snicbench [-exp NAME] [-func FN] [-j N] [-q]\n\nexperiments:\n")
+		for _, e := range validExps {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %s\n", e)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nflags:\n")
+		flag.PrintDefaults()
+	}
 	flag.Parse()
+
+	opts := []snic.Option{snic.WithParallelism(*jobs)}
+	if !*quiet {
+		opts = append(opts, snic.WithProgress(stderrProgress()))
+	}
 
 	switch *exp {
 	case "fig4":
-		runFig4(*fn, false)
+		runFig4(opts, *fn, false)
 	case "fig6":
-		runFig4(*fn, true)
+		runFig4(opts, *fn, true)
 	case "fig5":
-		runFig5()
+		runFig5(opts)
 	case "fig7":
 		snic.RenderFig7(os.Stdout, snic.HyperscalerTrace())
 	case "table4":
-		runTable4()
+		runTable4(opts)
 	case "table5":
-		runTable5()
+		runTable5(opts)
 	case "strategies":
-		runStrategies()
+		runStrategies(opts)
 	case "faults":
-		runFaults()
+		runFaults(opts)
 	case "specs":
 		runSpecs()
 	case "catalog":
@@ -65,17 +94,37 @@ func main() {
 		runSpecs()
 		runCatalog()
 		runFunctional()
-		runFig4("", false)
-		runFig4("", true)
-		runFig5()
+		runFig4(opts, "", false)
+		runFig4(opts, "", true)
+		runFig5(opts)
 		snic.RenderFig7(os.Stdout, snic.HyperscalerTrace())
-		runTable4()
-		runTable5()
-		runStrategies()
-		runFaults()
+		runTable4(opts)
+		runTable5(opts)
+		runStrategies(opts)
+		runFaults(opts)
 	default:
-		fmt.Fprintf(os.Stderr, "snicbench: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "snicbench: unknown experiment %q (valid: %s)\n",
+			*exp, strings.Join(validExps, ", "))
 		os.Exit(2)
+	}
+}
+
+// stderrProgress returns a progress callback that keeps one live status
+// line on stderr, clearing it when an experiment completes so finished
+// runs leave no residue. Stdout is untouched: the rendered figures stay
+// byte-identical whether or not progress is shown.
+func stderrProgress() func(done, total int, label string) {
+	const width = 64
+	return func(done, total int, label string) {
+		if done >= total {
+			fmt.Fprintf(os.Stderr, "\r%*s\r", width, "")
+			return
+		}
+		line := fmt.Sprintf("[%d/%d] %s", done, total, label)
+		if len(line) > width {
+			line = line[:width]
+		}
+		fmt.Fprintf(os.Stderr, "\r%-*s", width, line)
 	}
 }
 
@@ -97,8 +146,8 @@ func selectedBenchmarks(fn string) []*snic.Benchmark {
 	return out
 }
 
-func runFig4(fn string, asFig6 bool) {
-	tb := snic.NewTestbed()
+func runFig4(opts []snic.Option, fn string, asFig6 bool) {
+	tb := snic.NewTestbed(opts...)
 	rows := tb.Fig4For(selectedBenchmarks(fn))
 	if asFig6 {
 		snic.RenderFig6(os.Stdout, rows)
@@ -107,24 +156,24 @@ func runFig4(fn string, asFig6 bool) {
 	}
 }
 
-func runFig5() {
-	tb := snic.NewTestbed()
+func runFig5(opts []snic.Option) {
+	tb := snic.NewTestbed(opts...)
 	snic.RenderFig5(os.Stdout, tb.Fig5(nil))
 }
 
-func runTable4() {
-	tb := snic.NewTestbed()
+func runTable4(opts []snic.Option) {
+	tb := snic.NewTestbed(opts...)
 	snic.RenderTable4(os.Stdout, tb.Table4())
 }
 
 // runTable5 prints the paper-input reproduction and then a fully
 // measured variant driven by our own simulated fleets.
-func runTable5() {
+func runTable5(opts []snic.Option) {
 	fmt.Println("== From the paper's published inputs ==")
 	snic.RenderTable5(os.Stdout, snic.PaperTable5())
 
 	fmt.Println("\n== From this testbed's measurements ==")
-	tbed := snic.NewTestbed()
+	tbed := snic.NewTestbed(opts...)
 	model := tco.PaperCostModel()
 	var rows []tco.Row
 
@@ -161,22 +210,21 @@ func runTable5() {
 	snic.RenderTable5(os.Stdout, rows)
 }
 
-func runStrategies() {
+func runStrategies(opts []snic.Option) {
 	fmt.Println("== Strategy 2: offload advisor (SLO = 500µs p99) ==")
-	adv := snic.NewAdvisor()
+	adv := snic.NewAdvisor(opts...)
 	t := report.NewTable("", "benchmark", "recommendation", "reason")
-	for _, b := range snic.Benchmarks() {
-		rec := adv.Advise(b, 500*sim.Microsecond)
+	for _, rec := range adv.AdviseAll(500 * sim.Microsecond) {
 		chosen := string(rec.Chosen)
 		if chosen == "" {
 			chosen = "(none meets SLO)"
 		}
-		t.Add(b.Name(), chosen, rec.Reason)
+		t.Add(rec.Config.Name(), chosen, rec.Reason)
 	}
 	t.Render(os.Stdout)
 
 	fmt.Println("\n== Strategy 3: SNIC<->host load balancer under bursts ==")
-	tbed := snic.NewTestbed()
+	tbed := snic.NewTestbed(opts...)
 	tr := snic.BurstyTrace(5, 72, 60, 6, 2*snic.Millisecond)
 	for _, run := range []struct {
 		name string
@@ -192,20 +240,22 @@ func runStrategies() {
 
 // runFaults replays the hyperscaler trace while injecting the three
 // stock fault scenarios, with the health-aware router failing REM work
-// over to the host. The first row is the fault-free baseline.
-func runFaults() {
+// over to the host. The first row is the fault-free baseline. Scenario
+// descriptions print before any replay starts, so stdout is identical
+// at every -j even though the scenarios replay concurrently.
+func runFaults(opts []snic.Option) {
 	fmt.Println("== Fault scenarios: REM trace replay with failover ==")
-	tbed := snic.NewTestbed()
+	tbed := snic.NewTestbed(opts...)
 	tr := snic.HyperscalerTrace().Compress(400 * snic.Microsecond)
 	router := func() *snic.HealthRouter {
 		return snic.NewHealthRouter(snic.HardwareBalancer(), snic.DefaultFailoverPolicy())
 	}
-	base := tbed.RunFaulted(snic.FaultScenario{Name: "baseline"}, router(), tr, 2, 42)
-	var rows []snic.FaultResult
-	for _, scn := range snic.DefaultFaultScenarios(tr.Duration()) {
+	scns := snic.DefaultFaultScenarios(tr.Duration())
+	for _, scn := range scns {
 		fmt.Printf("  %-12s %s\n", scn.Name+":", scn.Desc)
-		rows = append(rows, tbed.RunFaulted(scn, router(), tr, 2, 42))
 	}
+	base := tbed.RunFaulted(snic.FaultScenario{Name: "baseline"}, router(), tr, 2, 42)
+	rows := tbed.RunFaultedSet(scns, router, tr, 2, 42)
 	snic.RenderFaults(os.Stdout, base, rows)
 }
 

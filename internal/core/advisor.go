@@ -27,6 +27,10 @@ type Advisor struct {
 // NewAdvisor returns an advisor over the default testbed.
 func NewAdvisor() *Advisor { return &Advisor{runner: NewRunner()} }
 
+// NewAdvisorWith returns an advisor sharing the given runner's testbed
+// sizing, parallelism and progress callback.
+func NewAdvisorWith(r *Runner) *Advisor { return &Advisor{runner: r} }
+
 // Prediction is the advisor's estimate for one platform.
 type Prediction struct {
 	Platform Platform
@@ -199,11 +203,16 @@ func effScore(p Prediction) float64 {
 }
 
 // AdviseAll runs the advisor over the whole catalog at a common SLO.
+// Recommendations compute concurrently up to the runner's parallelism
+// and merge in catalog order.
 func (a *Advisor) AdviseAll(sloP99 sim.Duration) []Recommendation {
-	var out []Recommendation
-	for _, cfg := range Catalog() {
-		out = append(out, a.Advise(cfg, sloP99))
-	}
+	cat := Catalog()
+	out := make([]Recommendation, len(cat))
+	prog := a.runner.newProgress(len(cat))
+	a.runner.forEachN(len(cat), func(i int) {
+		out[i] = a.Advise(cat[i], sloP99)
+		prog.step("advise " + cat[i].Name())
+	})
 	return out
 }
 

@@ -40,12 +40,16 @@ func (r *Runner) Fig4() []Fig4Row {
 	return r.Fig4For(Catalog())
 }
 
-// Fig4For measures the given subset.
+// Fig4For measures the given subset. Rows compute concurrently up to
+// r.Parallelism and merge in catalog order, so the output is identical
+// at every parallelism setting.
 func (r *Runner) Fig4For(configs []*Config) []Fig4Row {
-	rows := make([]Fig4Row, 0, len(configs))
-	for _, cfg := range configs {
-		rows = append(rows, r.fig4Row(cfg))
-	}
+	rows := make([]Fig4Row, len(configs))
+	prog := r.newProgress(len(configs))
+	r.forEachN(len(configs), func(i int) {
+		rows[i] = r.fig4Row(configs[i])
+		prog.step("fig4 " + configs[i].Name())
+	})
 	return rows
 }
 
@@ -95,23 +99,27 @@ func remMTU(set trace.RuleSetName) *Config {
 }
 
 // Fig5 sweeps offered rate and measures throughput and p99 for the three
-// curves. Rates are in Gb/s of request payload.
+// curves. Rates are in Gb/s of request payload; points compute
+// concurrently (each rate is an independent simulation triple, seeded by
+// its index) and merge in sweep order.
 func (r *Runner) Fig5(rates []float64) []Fig5Point {
 	imgCfg := remMTU(trace.RuleSetImage)
 	exeCfg := remMTU(trace.RuleSetExecutable)
-	points := make([]Fig5Point, 0, len(rates))
-	for i, rate := range rates {
+	points := make([]Fig5Point, len(rates))
+	prog := r.newProgress(len(rates))
+	r.forEachN(len(rates), func(i int) {
+		rate := rates[i]
 		opts := DefaultRunOpts()
 		opts.Requests = 12000
 		opts.OfferedGbps = rate
 		opts.Seed = uint64(1000 + i)
-		p := Fig5Point{OfferedGbps: rate, Curves: map[string]Measurement{
+		points[i] = Fig5Point{OfferedGbps: rate, Curves: map[string]Measurement{
 			"host/file_image":      r.Run(imgCfg, HostCPU, opts),
 			"host/file_executable": r.Run(exeCfg, HostCPU, opts),
 			"accel":                r.Run(exeCfg, SNICAccel, opts),
 		}}
-		points = append(points, p)
-	}
+		prog.step(fmt.Sprintf("fig5 %g Gb/s", rate))
+	})
 	return points
 }
 
@@ -161,23 +169,42 @@ func DefaultTable4Config() Table4Config {
 }
 
 // Table4 replays the trace through REM on the host CPU and on the SNIC
-// accelerator and reports the table's three rows of numbers.
+// accelerator — both platforms concurrently when parallelism allows —
+// and reports the table's rows in platform order.
 func (r *Runner) Table4(tc Table4Config) []TraceReplayResult {
 	cfg := remMTU(trace.RuleSetExecutable)
-	out := []TraceReplayResult{}
-	for _, plat := range []Platform{HostCPU, SNICAccel} {
+	plats := []Platform{HostCPU, SNICAccel}
+	tr := tc.Trace.Compress(tc.IntervalCompress)
+	out := make([]TraceReplayResult, len(plats))
+	prog := r.newProgress(len(plats))
+	r.forEachN(len(plats), func(i int) {
 		c := *cfg
-		if plat == HostCPU && tc.HostCores > 0 {
+		if plats[i] == HostCPU && tc.HostCores > 0 {
 			c.HostCores = tc.HostCores
 		}
-		out = append(out, r.ReplayTrace(&c, plat, tc.Trace.Compress(tc.IntervalCompress), tc.Seed))
-	}
+		out[i] = r.ReplayTrace(&c, plats[i], tr, tc.Seed)
+		prog.step("table4 " + string(plats[i]))
+	})
 	return out
 }
 
 // ReplayTrace drives a net-served config with the trace's time-varying
-// packet rate and measures the paper's Table 4 metrics.
+// packet rate and measures the paper's Table 4 metrics. Replays memoize
+// like Run does, keyed additionally by the trace's fingerprint.
 func (r *Runner) ReplayTrace(cfg *Config, plat Platform, tr *trace.HyperscalerTrace, seed uint64) TraceReplayResult {
+	key := replayKey(cfg, plat, r.TBConfig, tr, seed)
+	if res, ok := r.cache.lookupReplay(key); ok {
+		return res
+	}
+	res := r.replayTrace(cfg, plat, tr, seed)
+	r.cache.storeReplay(key, res)
+	return res
+}
+
+// replayTrace executes one trace replay on a fresh testbed.
+func (r *Runner) replayTrace(cfg *Config, plat Platform, tr *trace.HyperscalerTrace, seed uint64) TraceReplayResult {
+	r.sims.Add(1)
+	seed = r.runSeed(seed)
 	tbc := r.TBConfig
 	tbc.Seed ^= seed
 	if cfg.HostCores > 0 {

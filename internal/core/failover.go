@@ -188,6 +188,7 @@ func (f FaultResult) String() string {
 func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.HyperscalerTrace, hostCores int, seed uint64) FaultResult {
 	cfg := remMTU(trace.RuleSetExecutable)
 	pol := hr.Policy
+	seed = r.runSeed(seed)
 	tbc := r.TBConfig
 	tbc.Seed ^= seed
 	if hostCores > 0 {
@@ -394,11 +395,13 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 
 	var total uint64
 	interval := tr.Interval
+	prog := r.newProgress(nIntervals)
 	var runInterval func(i int)
 	runInterval = func(i int) {
 		if i >= nIntervals {
 			return
 		}
+		prog.step("fault " + scn.Name)
 		rate := tr.RatesGbps[i]
 		end := eng.Now().Add(interval)
 		var submit func()
@@ -485,4 +488,17 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 	}
 	res.AvgPowerW = float64(tb.Power.Server.Power())
 	return res
+}
+
+// RunFaultedSet replays every scenario, fanning them across the
+// runner's parallelism. Each replay builds its own testbed and router
+// (mkRouter is called once per scenario so router state is never
+// shared), and results merge in scenario order — identical to running
+// RunFaulted in a loop.
+func (r *Runner) RunFaultedSet(scns []FaultScenario, mkRouter func() *HealthRouter, tr *trace.HyperscalerTrace, hostCores int, seed uint64) []FaultResult {
+	out := make([]FaultResult, len(scns))
+	r.forEachN(len(scns), func(i int) {
+		out[i] = r.RunFaulted(scns[i], mkRouter(), tr, hostCores, seed)
+	})
+	return out
 }

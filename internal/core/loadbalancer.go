@@ -74,6 +74,7 @@ func (b BalancedResult) String() string {
 // crosses the threshold, then spill to the host CPU pool.
 func (r *Runner) RunBalanced(lb LoadBalancer, tr *trace.HyperscalerTrace, hostCores int, seed uint64) BalancedResult {
 	cfg := remMTU(trace.RuleSetExecutable)
+	seed = r.runSeed(seed)
 	tbc := r.TBConfig
 	tbc.Seed ^= seed
 	if hostCores > 0 {
@@ -166,12 +167,15 @@ func (r *Runner) RunBalanced(lb LoadBalancer, tr *trace.HyperscalerTrace, hostCo
 	// finalized after the run.
 	var lastSend sim.Time
 	interval := tr.Interval
+	prog := r.newProgress(len(tr.RatesGbps))
+	balLabel := fmt.Sprintf("balanced hw=%v", lb.HWAssist)
 	var runInterval func(i int)
 	runInterval = func(i int) {
 		if i >= len(tr.RatesGbps) {
 			lastSend = eng.Now()
 			return
 		}
+		prog.step(balLabel)
 		rate := tr.RatesGbps[i]
 		end := eng.Now().Add(interval)
 		var submit func()

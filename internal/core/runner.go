@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/accel"
 	"repro/internal/cpu"
@@ -66,14 +68,39 @@ func probeOpts(seed uint64) RunOpts {
 	return RunOpts{Requests: 6000, WarmupFrac: 0.2, Seed: seed}
 }
 
-// Runner executes catalog entries on platforms.
+// Runner executes catalog entries on platforms. A Runner is safe for
+// concurrent use: every simulation builds a private Testbed, and the
+// memo cache and progress plumbing are internally synchronized. Set
+// TBConfig/Parallelism/Progress before launching experiments, not while
+// they run. Runners hold locks — share by pointer, never copy.
 type Runner struct {
 	// Testbed configuration template.
 	TBConfig TestbedConfig
+	// Parallelism bounds how many simulations the experiment drivers
+	// (Fig4For, Fig5, Table4, RunFaultedSet, AdviseAll) run concurrently.
+	// 0 and 1 both mean sequential; results are byte-identical at every
+	// setting because merges happen in submission order.
+	Parallelism int
+	// Progress, when set, receives per-row completion callbacks from the
+	// experiment drivers and per-probe callbacks from MaxThroughput.
+	// Invocations are serialized; done counts are per-experiment. The
+	// callback must not mutate the runner.
+	Progress func(done, total int, label string)
+
+	cache  measureCache
+	sims   atomic.Uint64
+	progMu sync.Mutex
 }
 
 // NewRunner returns a runner with the default testbed.
 func NewRunner() *Runner { return &Runner{TBConfig: DefaultTestbedConfig()} }
+
+// Sims returns how many simulations this runner has actually executed
+// (cache hits excluded) — the denominator of the memoization win.
+func (r *Runner) Sims() uint64 { return r.sims.Load() }
+
+// CacheStats reports memo-cache hits and misses.
+func (r *Runner) CacheStats() (hits, misses uint64) { return r.cache.stats() }
 
 // runctx is the per-run wiring.
 type runctx struct {
@@ -111,14 +138,37 @@ func (ctx *runctx) noteSent() {
 	}
 }
 
-// Run simulates cfg on platform at the given operating point and returns
-// the measurement.
+// Run returns the measurement of cfg on platform at the given operating
+// point, simulating it the first time and serving the memoized result —
+// byte-identical by determinism — on every repeat of the same
+// (config, platform, testbed, options) key.
 func (r *Runner) Run(cfg *Config, plat Platform, opts RunOpts) Measurement {
 	if !cfg.HasPlatform(plat) {
 		panic(fmt.Sprintf("core: %s does not run on %s", cfg.Name(), plat))
 	}
+	key := runKey(cfg, plat, r.TBConfig, opts)
+	if m, ok := r.cache.lookupRun(key); ok {
+		return m
+	}
+	m := r.simulate(cfg, plat, opts)
+	r.cache.storeRun(key, m)
+	return m
+}
+
+// runSeed folds the testbed's master seed into one run's seed. The
+// default master seed leaves per-run streams exactly as a standalone
+// opts.Seed would, so the published figures are unchanged; any other
+// WithSeed/TBConfig.Seed value shifts every derived stream.
+func (r *Runner) runSeed(seed uint64) uint64 {
+	return seed ^ (r.TBConfig.Seed^defaultMasterSeed)*0x9e3779b97f4a7c15
+}
+
+// simulate builds a fresh testbed and executes one run.
+func (r *Runner) simulate(cfg *Config, plat Platform, opts RunOpts) Measurement {
+	r.sims.Add(1)
+	seed := r.runSeed(opts.Seed)
 	tbc := r.TBConfig
-	tbc.Seed ^= opts.Seed * 0x9e3779b97f4a7c15
+	tbc.Seed ^= seed * 0x9e3779b97f4a7c15
 	if cfg.HostCores > 0 {
 		tbc.HostCores = cfg.HostCores
 	}
@@ -130,8 +180,8 @@ func (r *Runner) Run(cfg *Config, plat Platform, opts RunOpts) Measurement {
 	ctx := &runctx{
 		tb: tb, cfg: cfg, plat: plat, opts: opts,
 		prof:     netstack.ByKind(cfg.Stack),
-		arrivals: trace.NewPoissonArrivals(opts.Seed ^ 0xabcdef),
-		jit:      sim.NewRNG(opts.Seed ^ 0x1234),
+		arrivals: trace.NewPoissonArrivals(seed ^ 0xabcdef),
+		jit:      sim.NewRNG(seed ^ 0x1234),
 		hist:     stats.NewHistogram(),
 		warmupN:  int(float64(opts.Requests) * opts.WarmupFrac),
 	}
@@ -143,7 +193,7 @@ func (r *Runner) Run(cfg *Config, plat Platform, opts RunOpts) Measurement {
 	ctx.pool = tb.PoolFor(plat)
 	ctx.pool.JitterSigma = 0 // the runner applies jitter itself
 	ctx.pool.SetQueueCapacity(4096)
-	ctx.ep = netstack.NewEndpoint(tb.Eng, ctx.prof, ctx.pool, opts.Seed^0x77)
+	ctx.ep = netstack.NewEndpoint(tb.Eng, ctx.prof, ctx.pool, seed^0x77)
 
 	// Power bookkeeping: which pools are live, poll-mode pinning, and
 	// whether traffic crosses into host memory.
@@ -573,8 +623,11 @@ func (ctx *runctx) measurement() Measurement {
 // we get the maximum throughput ... and then measure the p99 latency at
 // that rate").
 func (r *Runner) MaxThroughput(cfg *Config, plat Platform) Measurement {
+	label := "search " + cfg.Name() + " @ " + string(plat)
 	if cfg.Mode == ModeLocal {
 		// Closed-loop mode self-saturates; no search needed.
+		prog := r.newProgress(1)
+		defer prog.step(label)
 		return r.Run(cfg, plat, DefaultRunOpts())
 	}
 	if cfg.Mode == ModeSwitched {
@@ -584,10 +637,14 @@ func (r *Runner) MaxThroughput(cfg *Config, plat Platform) Measurement {
 			load = 0.10
 		}
 		opts := DefaultRunOpts()
-		opts.OfferedGbps = load * 100 * float64(cfg.ReqSize) / float64(cfg.ReqSize+nic.EthernetOverhead)
+		opts.OfferedGbps = load * r.TBConfig.LinkGbps() * float64(cfg.ReqSize) / float64(cfg.ReqSize+nic.EthernetOverhead)
+		prog := r.newProgress(1)
+		defer prog.step(label)
 		return r.Run(cfg, plat, opts)
 	}
 
+	// 11 runs: light-load baseline, 9 binary-search probes, final point.
+	prog := r.newProgress(11)
 	est := r.estimateCapacityGbps(cfg, plat)
 	// Baseline latency at light load defines the "reasonable p99" bound
 	// for the knee search (cf. Fig. 5: the host's REM throughput is
@@ -595,9 +652,10 @@ func (r *Runner) MaxThroughput(cfg *Config, plat Platform) Measurement {
 	baseOpts := probeOpts(11)
 	baseOpts.OfferedGbps = est * 0.2
 	baseline := r.Run(cfg, plat, baseOpts)
+	prog.step(label)
 	p99Cap := sim.Duration(float64(baseline.Latency.P99) * cfg.kneeMult())
 
-	lo, hi := est*0.3, math.Min(est*1.9, 98)
+	lo, hi := est*0.3, math.Min(est*1.9, r.TBConfig.LinkGbps()*0.98)
 	if hi <= lo {
 		hi = lo * 1.5
 	}
@@ -607,6 +665,7 @@ func (r *Runner) MaxThroughput(cfg *Config, plat Platform) Measurement {
 		opts := probeOpts(uint64(100 + i))
 		opts.OfferedGbps = mid
 		probe := r.Run(cfg, plat, opts)
+		prog.step(label)
 		if probe.DeliveredFrac >= 0.97 && probe.Latency.P99 <= p99Cap {
 			best = mid
 			lo = mid
@@ -614,6 +673,7 @@ func (r *Runner) MaxThroughput(cfg *Config, plat Platform) Measurement {
 			hi = mid
 		}
 	}
+	defer prog.step(label)
 	opts := DefaultRunOpts()
 	// Measure below the accepted knee: the longer measurement window
 	// would otherwise random-walk a borderline queue deeper than the
@@ -650,10 +710,11 @@ func (r *Runner) estimateCapacityGbps(cfg *Config, plat Platform) float64 {
 	if cfg.Mixed {
 		meanReq = int(trace.CTUMixed().Mean())
 	}
-	lineGbps := 100 * float64(meanReq) / float64(meanReq+nic.EthernetOverhead)
+	link := r.TBConfig.LinkGbps()
+	lineGbps := link * float64(meanReq) / float64(meanReq+nic.EthernetOverhead)
 	if cfg.Mode == ModeStorage {
 		// Block I/O saturates the wire with 64 KB transfers.
-		return 100 * 65536 / (65536 + 44*nic.EthernetOverhead)
+		return link * 65536 / (65536 + 44*nic.EthernetOverhead)
 	}
 	if cfg.Mode == ModeLocal {
 		return r.estimateLocalGbps(tb, cfg, plat)

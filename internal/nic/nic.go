@@ -182,10 +182,20 @@ type Wire struct {
 // NewWire returns a wire with the given one-way propagation delay
 // (back-to-back DAC cables are a few hundred nanoseconds end to end).
 func NewWire(eng *sim.Engine, propagation sim.Duration) *Wire {
+	return NewWireRate(eng, LineRateBits, propagation)
+}
+
+// NewWireRate returns a wire whose two directions serialize at rateBits
+// bits/s instead of the default 100 GbE line rate (rateBits <= 0 keeps
+// the default) — slower optics or a rate-limited testbed port.
+func NewWireRate(eng *sim.Engine, rateBits float64, propagation sim.Duration) *Wire {
+	if rateBits <= 0 {
+		rateBits = LineRateBits
+	}
 	return &Wire{
 		eng:            eng,
-		clientToServer: sim.NewLink(eng, LineRateBits, propagation),
-		serverToClient: sim.NewLink(eng, LineRateBits, propagation),
+		clientToServer: sim.NewLink(eng, rateBits, propagation),
+		serverToClient: sim.NewLink(eng, rateBits, propagation),
 	}
 }
 

@@ -18,7 +18,12 @@
 //	fmt.Println(res.TputGbps, res.Latency.P99, res.ServerPowerW)
 //
 // Everything is virtual-time and seeded: identical inputs give identical
-// results, byte for byte, regardless of host load or GC behaviour.
+// results, byte for byte, regardless of host load or GC behaviour. That
+// holds even under parallel execution: NewTestbed accepts functional
+// options (WithParallelism, WithSeed, WithHostCores, WithLinkRateGbps,
+// WithProgress, ...) and the engine fans independent simulations across
+// goroutines while merging results in submission order, so Fig. 4 at
+// parallelism 8 is byte-identical to parallelism 1.
 package snic
 
 import (
@@ -78,11 +83,75 @@ type Testbed struct {
 	runner *core.Runner
 }
 
-// NewTestbed returns a testbed with the paper's §3.1 configuration:
-// 8 host cores vs the 8-core SNIC, 2 accelerator staging cores, 100 GbE.
-func NewTestbed() *Testbed {
-	return &Testbed{runner: core.NewRunner()}
+// Option configures a Testbed at construction.
+type Option func(*Testbed)
+
+// WithHostCores sets the host CPU core count (paper default: 8).
+func WithHostCores(n int) Option {
+	return func(t *Testbed) { t.runner.TBConfig.HostCores = n }
 }
+
+// WithSNICCores sets the SNIC Arm core count (paper default: 8).
+func WithSNICCores(n int) Option {
+	return func(t *Testbed) { t.runner.TBConfig.SNICCores = n }
+}
+
+// WithStagingCores sets the accelerator staging core count (default: 2).
+func WithStagingCores(n int) Option {
+	return func(t *Testbed) { t.runner.TBConfig.StagingCores = n }
+}
+
+// WithLinkRateGbps sets the wire speed; the default is the paper's
+// 100 GbE.
+func WithLinkRateGbps(gbps float64) Option {
+	return func(t *Testbed) { t.runner.TBConfig.LinkRateGbps = gbps }
+}
+
+// WithSeed sets the master seed every simulation derives its RNG streams
+// from. Identical seeds give byte-identical results.
+func WithSeed(seed uint64) Option {
+	return func(t *Testbed) { t.runner.TBConfig.Seed = seed }
+}
+
+// WithParallelism fans independent simulations across up to n
+// goroutines. Results merge in submission order, so figures and tables
+// are byte-identical at every setting; 0 and 1 both mean sequential.
+func WithParallelism(n int) Option {
+	return func(t *Testbed) { t.runner.Parallelism = n }
+}
+
+// WithProgress installs a callback invoked as experiment rows complete:
+// done of total rows, with a short label for the row just finished.
+// Invocations are serialized (the callback needs no locking), but under
+// parallelism their order is scheduling-dependent — report counts, don't
+// infer sequence.
+func WithProgress(fn func(done, total int, label string)) Option {
+	return func(t *Testbed) { t.runner.Progress = fn }
+}
+
+// NewTestbed returns a testbed with the paper's §3.1 configuration —
+// 8 host cores vs the 8-core SNIC, 2 accelerator staging cores,
+// 100 GbE — adjusted by any options:
+//
+//	tb := snic.NewTestbed(
+//		snic.WithHostCores(8),
+//		snic.WithParallelism(runtime.NumCPU()),
+//		snic.WithSeed(7),
+//	)
+func NewTestbed(opts ...Option) *Testbed {
+	t := &Testbed{runner: core.NewRunner()}
+	for _, opt := range opts {
+		opt(t)
+	}
+	return t
+}
+
+// Simulations returns how many simulations the testbed has actually
+// executed; memo-cache hits don't count.
+func (t *Testbed) Simulations() uint64 { return t.runner.Sims() }
+
+// CacheStats reports measurement memo-cache hits and misses.
+func (t *Testbed) CacheStats() (hits, misses uint64) { return t.runner.CacheStats() }
 
 // MaxThroughput finds a benchmark's maximum sustainable throughput on a
 // platform and measures p99 latency and system-wide power there — the
@@ -156,8 +225,11 @@ type Advisor = core.Advisor
 // Recommendation is the advisor's output.
 type Recommendation = core.Recommendation
 
-// NewAdvisor returns an advisor over the default testbed.
-func NewAdvisor() *Advisor { return core.NewAdvisor() }
+// NewAdvisor returns an advisor over a testbed built from the options
+// (none: the paper's default configuration).
+func NewAdvisor(opts ...Option) *Advisor {
+	return core.NewAdvisorWith(NewTestbed(opts...).runner)
+}
 
 // LoadBalancer splits traffic between the SNIC accelerator and host
 // (Strategy 3).
@@ -216,6 +288,13 @@ func DefaultFaultScenarios(span Duration) []FaultScenario {
 // A scenario with an empty plan is the fault-free baseline.
 func (t *Testbed) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.HyperscalerTrace, hostCores int, seed uint64) FaultResult {
 	return t.runner.RunFaulted(scn, hr, tr, hostCores, seed)
+}
+
+// RunFaultedSet replays every scenario, fanning them across the
+// testbed's parallelism; mkRouter builds a fresh router per scenario so
+// no router state is shared. Results merge in scenario order.
+func (t *Testbed) RunFaultedSet(scns []FaultScenario, mkRouter func() *HealthRouter, tr *trace.HyperscalerTrace, hostCores int, seed uint64) []FaultResult {
+	return t.runner.RunFaultedSet(scns, mkRouter, tr, hostCores, seed)
 }
 
 // ---- Rendering ----

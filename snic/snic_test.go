@@ -87,6 +87,67 @@ func TestHyperscalerTraceFacade(t *testing.T) {
 	}
 }
 
+func TestOptionsDeterminism(t *testing.T) {
+	b, _ := snic.LookupBenchmark("udp-echo", "1024B")
+	mk := func() snic.Measurement {
+		tb := snic.NewTestbed(
+			snic.WithHostCores(8),
+			snic.WithSNICCores(8),
+			snic.WithLinkRateGbps(100),
+			snic.WithParallelism(8),
+			snic.WithSeed(7),
+		)
+		return tb.Run(b, snic.SNICCPU, 0.5, 3000)
+	}
+	x, y := mk(), mk()
+	if x != y {
+		t.Fatalf("same options gave different measurements:\n%v\n%v", x, y)
+	}
+	reseeded := snic.NewTestbed(snic.WithSeed(99)).Run(b, snic.SNICCPU, 0.5, 3000)
+	if reseeded.Latency.Mean == x.Latency.Mean {
+		t.Fatal("WithSeed had no effect on the measurement")
+	}
+}
+
+func TestWithProgress(t *testing.T) {
+	var calls int
+	tb := snic.NewTestbed(
+		snic.WithParallelism(4),
+		snic.WithProgress(func(done, total int, label string) {
+			calls++
+			if done < 1 || done > total || label == "" {
+				t.Errorf("bad progress report: %d/%d %q", done, total, label)
+			}
+		}),
+	)
+	b, _ := snic.LookupBenchmark("nat", "10K")
+	tb.MaxThroughput(b, snic.HostCPU)
+	if calls == 0 {
+		t.Fatal("progress callback never fired")
+	}
+	if sims := tb.Simulations(); sims == 0 {
+		t.Fatalf("testbed reports %d simulations after a search", sims)
+	}
+}
+
+func TestFaultSetFacade(t *testing.T) {
+	tb := snic.NewTestbed(snic.WithParallelism(4))
+	tr := snic.BurstyTrace(4, 60, 10, 4, 2*snic.Millisecond)
+	scns := snic.DefaultFaultScenarios(tr.Duration())
+	mk := func() *snic.HealthRouter {
+		return snic.NewHealthRouter(snic.HardwareBalancer(), snic.DefaultFailoverPolicy())
+	}
+	rows := tb.RunFaultedSet(scns, mk, tr, 2, 42)
+	if len(rows) != len(scns) {
+		t.Fatalf("got %d rows for %d scenarios", len(rows), len(scns))
+	}
+	for i, row := range rows {
+		if row.Scenario != scns[i].Name {
+			t.Fatalf("row %d is %q, want %q (merge order broken)", i, row.Scenario, scns[i].Name)
+		}
+	}
+}
+
 func TestBalancerFacade(t *testing.T) {
 	tb := snic.NewTestbed()
 	tr := snic.BurstyTrace(4, 70, 12, 4, 2*snic.Millisecond)
