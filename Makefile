@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-compare faults
+.PHONY: verify build test vet race bench bench-compare faults trace-determinism
 
 # Tier-1 verification: everything CI and reviewers gate on.
 verify: vet build race
@@ -28,3 +28,15 @@ bench-compare:
 # Regenerate the fault-scenario experiment family.
 faults:
 	$(GO) run ./cmd/snicbench -exp faults
+
+# Telemetry exports must be byte-identical at every parallelism: run the
+# same experiment sequentially and fully parallel and diff the traces.
+trace-determinism:
+	$(GO) run ./cmd/snicbench -exp fig4 -func nat -q -j 1 \
+		-trace trace_j1.json -metrics metrics_j1.csv
+	$(GO) run ./cmd/snicbench -exp fig4 -func nat -q -j $$(nproc) \
+		-trace trace_jN.json -metrics metrics_jN.csv
+	cmp trace_j1.json trace_jN.json
+	cmp metrics_j1.csv metrics_jN.csv
+	rm -f trace_j1.json trace_jN.json metrics_j1.csv metrics_jN.csv
+	@echo "trace determinism: OK"

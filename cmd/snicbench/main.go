@@ -20,11 +20,21 @@
 // -j N fans independent simulations across N goroutines (default: the
 // machine's CPU count). Results are merged in submission order, so the
 // output is byte-identical at every -j; progress goes to stderr only.
+//
+// Telemetry flags record every simulated run and export after the
+// experiments finish; the exports are byte-identical at every -j too:
+//
+//	snicbench -exp fig4 -trace t.json      # Chrome/Perfetto trace
+//	snicbench -exp fig4 -metrics m.csv     # sampled metrics (CSV)
+//	snicbench -exp fig4 -metrics m.json    # sampled metrics (JSON)
+//	snicbench -exp fig4 -manifest runs.json
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -52,8 +62,11 @@ func main() {
 	fn := flag.String("func", "", "restrict fig4/fig6 to one function (e.g. redis)")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel simulations (output is identical at every -j)")
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
+	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of every simulated run to this file")
+	metricsOut := flag.String("metrics", "", "write sampled metrics to this file (.json for JSON, otherwise CSV)")
+	manifestOut := flag.String("manifest", "", "write per-run telemetry manifests (JSON) to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: snicbench [-exp NAME] [-func FN] [-j N] [-q]\n\nexperiments:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: snicbench [-exp NAME] [-func FN] [-j N] [-q] [-trace F] [-metrics F] [-manifest F]\n\nexperiments:\n")
 		for _, e := range validExps {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %s\n", e)
 		}
@@ -63,69 +76,114 @@ func main() {
 	flag.Parse()
 
 	opts := []snic.Option{snic.WithParallelism(*jobs)}
+	var prog *progressLine
 	if !*quiet {
-		opts = append(opts, snic.WithProgress(stderrProgress()))
+		prog = &progressLine{}
+		opts = append(opts, snic.WithProgress(prog.update))
+	}
+	var tel *snic.Telemetry
+	if *traceOut != "" || *metricsOut != "" || *manifestOut != "" {
+		tel = snic.NewTelemetry()
+		opts = append(opts, snic.WithTelemetry(tel))
 	}
 
-	switch *exp {
-	case "fig4":
-		runFig4(opts, *fn, false)
-	case "fig6":
-		runFig4(opts, *fn, true)
-	case "fig5":
-		runFig5(opts)
-	case "fig7":
-		snic.RenderFig7(os.Stdout, snic.HyperscalerTrace())
-	case "table4":
-		runTable4(opts)
-	case "table5":
-		runTable5(opts)
-	case "strategies":
-		runStrategies(opts)
-	case "faults":
-		runFaults(opts)
-	case "specs":
-		runSpecs()
-	case "catalog":
-		runCatalog()
-	case "functional":
-		runFunctional()
-	case "all":
-		runSpecs()
-		runCatalog()
-		runFunctional()
-		runFig4(opts, "", false)
-		runFig4(opts, "", true)
-		runFig5(opts)
-		snic.RenderFig7(os.Stdout, snic.HyperscalerTrace())
-		runTable4(opts)
-		runTable5(opts)
-		runStrategies(opts)
-		runFaults(opts)
-	default:
+	// run dispatches one experiment, telling the progress line which
+	// experiment is currently executing so the live status names it.
+	run := func(name string, fn func()) {
+		prog.setExperiment(name)
+		fn()
+	}
+	dispatch := map[string]func(){
+		"fig4":       func() { runFig4(opts, *fn, false) },
+		"fig6":       func() { runFig4(opts, *fn, true) },
+		"fig5":       func() { runFig5(opts) },
+		"fig7":       func() { snic.RenderFig7(os.Stdout, snic.HyperscalerTrace()) },
+		"table4":     func() { runTable4(opts) },
+		"table5":     func() { runTable5(opts) },
+		"strategies": func() { runStrategies(opts) },
+		"faults":     func() { runFaults(opts) },
+		"specs":      runSpecs,
+		"catalog":    runCatalog,
+		"functional": runFunctional,
+	}
+	if *exp == "all" {
+		// Same order the command has always used.
+		for _, e := range []string{"specs", "catalog", "functional", "fig4", "fig6",
+			"fig5", "fig7", "table4", "table5", "strategies", "faults"} {
+			run(e, dispatch[e])
+		}
+	} else if fn, ok := dispatch[*exp]; ok {
+		run(*exp, fn)
+	} else {
 		fmt.Fprintf(os.Stderr, "snicbench: unknown experiment %q (valid: %s)\n",
 			*exp, strings.Join(validExps, ", "))
 		os.Exit(2)
 	}
+
+	if tel != nil {
+		writeOut(*traceOut, tel.WriteTrace)
+		if *metricsOut != "" {
+			if strings.HasSuffix(*metricsOut, ".json") {
+				writeOut(*metricsOut, tel.WriteMetricsJSON)
+			} else {
+				writeOut(*metricsOut, tel.WriteMetricsCSV)
+			}
+		}
+		writeOut(*manifestOut, tel.WriteManifests)
+	}
 }
 
-// stderrProgress returns a progress callback that keeps one live status
-// line on stderr, clearing it when an experiment completes so finished
-// runs leave no residue. Stdout is untouched: the rendered figures stay
-// byte-identical whether or not progress is shown.
-func stderrProgress() func(done, total int, label string) {
-	const width = 64
-	return func(done, total int, label string) {
-		if done >= total {
-			fmt.Fprintf(os.Stderr, "\r%*s\r", width, "")
-			return
-		}
-		line := fmt.Sprintf("[%d/%d] %s", done, total, label)
-		if len(line) > width {
-			line = line[:width]
-		}
-		fmt.Fprintf(os.Stderr, "\r%-*s", width, line)
+// writeOut writes one telemetry export to path ("" skips).
+func writeOut(path string, write func(io.Writer) error) {
+	if path == "" {
+		return
 	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snicbench: %v\n", err)
+		os.Exit(1)
+	}
+	bw := bufio.NewWriter(f)
+	if err := write(bw); err == nil {
+		err = bw.Flush()
+	} else {
+		fmt.Fprintf(os.Stderr, "snicbench: writing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if err := f.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "snicbench: closing %s: %v\n", path, err)
+		os.Exit(1)
+	}
+}
+
+// progressLine keeps one live status line on stderr naming the
+// experiment currently running plus the row counts, clearing itself when
+// an experiment completes so finished runs leave no residue. Stdout is
+// untouched: the rendered figures stay byte-identical whether or not
+// progress is shown. A nil progressLine (quiet mode) is a no-op.
+type progressLine struct {
+	exp string
+}
+
+// setExperiment names the experiment that is about to run.
+func (p *progressLine) setExperiment(name string) {
+	if p != nil {
+		p.exp = name
+	}
+}
+
+// update is the snic.WithProgress callback.
+func (p *progressLine) update(done, total int, label string) {
+	const width = 72
+	if done >= total {
+		fmt.Fprintf(os.Stderr, "\r%*s\r", width, "")
+		return
+	}
+	line := fmt.Sprintf("[%s %d/%d] %s", p.exp, done, total, label)
+	if len(line) > width {
+		line = line[:width]
+	}
+	fmt.Fprintf(os.Stderr, "\r%-*s", width, line)
 }
 
 func selectedBenchmarks(fn string) []*snic.Benchmark {

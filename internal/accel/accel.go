@@ -173,6 +173,12 @@ func (b *ByteEngine) Health() Health {
 	}
 }
 
+// Observe installs telemetry observers under the given name: obs on the
+// internal engine station, batchObs on batch assembly. Either may be nil.
+func (b *ByteEngine) Observe(name string, obs sim.StationObserver, batchObs sim.BatchObserver) {
+	b.batch.Observe(name, obs, batchObs)
+}
+
 // Completed returns retired task count.
 func (b *ByteEngine) Completed() uint64 { return b.batch.Completed() }
 
@@ -339,6 +345,12 @@ func (p *PKAEngine) Health() Health {
 	default:
 		return Healthy
 	}
+}
+
+// Observe installs a telemetry observer on the command station under
+// the given name.
+func (p *PKAEngine) Observe(name string, obs sim.StationObserver) {
+	p.station.Observe(name, obs)
 }
 
 // Completed returns retired command count.

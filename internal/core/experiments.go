@@ -204,6 +204,8 @@ func (r *Runner) ReplayTrace(cfg *Config, plat Platform, tr *trace.HyperscalerTr
 // replayTrace executes one trace replay on a fresh testbed.
 func (r *Runner) replayTrace(cfg *Config, plat Platform, tr *trace.HyperscalerTrace, seed uint64) TraceReplayResult {
 	r.sims.Add(1)
+	rkey := replayKey(cfg, plat, r.TBConfig, tr, seed)
+	rlabel := fmt.Sprintf("replay %s @ %s | seed %d", cfg.Name(), plat, seed)
 	seed = r.runSeed(seed)
 	tbc := r.TBConfig
 	tbc.Seed ^= seed
@@ -228,6 +230,9 @@ func (r *Runner) replayTrace(cfg *Config, plat Platform, tr *trace.HyperscalerTr
 	ctx.pool.JitterSigma = 0
 	ctx.pool.SetQueueCapacity(4096)
 	ctx.ep = netstack.NewEndpoint(tb.Eng, ctx.prof, ctx.pool, seed^0x77)
+
+	ctx.rec = r.newRecorder(rkey, rlabel)
+	instrumentTestbed(tb, ctx.rec)
 
 	switch plat {
 	case HostCPU:
@@ -275,7 +280,8 @@ func (r *Runner) replayTrace(cfg *Config, plat Platform, tr *trace.HyperscalerTr
 			if rate > 0 {
 				ctx.sent++
 				size := ctx.sizes.Next(ctx.jit)
-				pkt := &nic.Packet{Seq: uint64(ctx.sent), Size: size, SentAt: eng.Now()}
+				pkt := &nic.Packet{Seq: uint64(ctx.sent), Size: size, SentAt: eng.Now(),
+					Span: uint32(ctx.openRequest())}
 				tb.Wire.SendToServer(pkt, tb.Sw.Ingress)
 				eng.After(ctx.arrivals.Gap(size, rate*1e9), submit)
 			} else {
@@ -287,6 +293,7 @@ func (r *Runner) replayTrace(cfg *Config, plat Platform, tr *trace.HyperscalerTr
 	eng.At(0, func() { runInterval(0) })
 	eng.Run()
 	ctx.finishEngineUtil()
+	r.finishRecorder(ctx)
 
 	res := TraceReplayResult{Platform: plat, P99: ctx.hist.P99(), Dropped: ctx.pool.Dropped()}
 	if ctx.meter != nil {

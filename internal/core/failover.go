@@ -7,6 +7,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/netstack"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -172,6 +173,13 @@ type FaultResult struct {
 	Transitions    int
 	WireFramesLost uint64
 	EngineRejected uint64
+
+	// BMCMissedSamples / YoctoMissedSamples count sensor ticks that fell
+	// inside injected dropout windows (fault.SensorDropout). The report
+	// surfaces them so a power average over a gapped trace is never
+	// mistaken for a clean measurement.
+	BMCMissedSamples   uint64
+	YoctoMissedSamples uint64
 }
 
 func (f FaultResult) String() string {
@@ -188,6 +196,9 @@ func (f FaultResult) String() string {
 func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.HyperscalerTrace, hostCores int, seed uint64) FaultResult {
 	cfg := remMTU(trace.RuleSetExecutable)
 	pol := hr.Policy
+	rkey := fmt.Sprintf("fault|%s|tb:%+v|cores:%d|pol:%+v|lb:%+v|tr:%s|seed:%d",
+		scn.Name, r.TBConfig, hostCores, pol, hr.LB, traceFingerprint(tr), seed)
+	rlabel := fmt.Sprintf("fault %s | cores %d | seed %d", scn.Name, hostCores, seed)
 	seed = r.runSeed(seed)
 	tbc := r.TBConfig
 	tbc.Seed ^= seed
@@ -247,9 +258,17 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 		attempts  int
 		done      bool
 		guard     sim.EventID
+		span      obs.SpanID
 	}
 	inflight := make(map[uint64]*flight)
 	var nextSeq uint64
+
+	rec := r.newRecorder(rkey, rlabel)
+	stage := func(root obs.SpanID, name string, start, end sim.Time) {
+		if root != 0 {
+			rec.Span(obs.TrackRequests, name, root, start, end)
+		}
+	}
 
 	nIntervals := len(tr.RatesGbps)
 	sentBytes := make([]float64, nIntervals)
@@ -276,6 +295,7 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 			return
 		}
 		f.done = true
+		rec.Close(f.span, eng.Now())
 		eng.Cancel(f.guard)
 		delete(inflight, f.seq)
 		completed++
@@ -315,17 +335,24 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 			hostProf.TxCycles(tb.HostSpec.Arch, respSize) +
 			cfg.HostBaseCycles + cfg.HostPerByteCycles*float64(f.size)
 		svc := jit.LogNormalDur(hostPool.ServiceTime(cycles), cfg.HostSigma)
-		hostPool.ExecDuration(svc, func(_, _ sim.Time) { respond(f) })
+		hostPool.ExecDuration(svc, func(s, e sim.Time) {
+			stage(f.span, spanService, s, e)
+			respond(f)
+		})
 	}
 	serveAccel := func(f *flight) {
 		snicServed++
-		stage := hostProf.RxCycles(tb.SNICSpec.Arch, f.size) + 340 + 0.02*float64(f.size)
+		stageCycles := hostProf.RxCycles(tb.SNICSpec.Arch, f.size) + 340 + 0.02*float64(f.size)
 		if !hr.LB.HWAssist {
-			stage += hr.LB.MonitorCycles
+			stageCycles += hr.LB.MonitorCycles
 		}
-		svc := jit.LogNormalDur(staging.ServiceTime(stage), 0.15)
-		staging.ExecDuration(svc, func(_, _ sim.Time) {
-			if err := tb.REM.Submit(f.size, func(_, _ sim.Time) { respond(f) }); err != nil {
+		svc := jit.LogNormalDur(staging.ServiceTime(stageCycles), 0.15)
+		staging.ExecDuration(svc, func(s, e sim.Time) {
+			stage(f.span, spanStaging, s, e)
+			if err := tb.REM.Submit(f.size, func(es, ee sim.Time) {
+				stage(f.span, spanEngine, es, ee)
+				respond(f)
+			}); err != nil {
 				// Graceful degradation: a task staged into a crashed
 				// engine re-serves on the host instead of being lost.
 				snicServed--
@@ -348,6 +375,18 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 		}
 		eng.At(0, refresh)
 	}
+	// Failover-specific gauges ride alongside the standard testbed set;
+	// both must be registered before instrumentTestbed starts the sampler.
+	rec.Gauge("failover/engine-healthy", "bool", 0, func() float64 {
+		if tb.REM.Health() == accel.Healthy {
+			return 1
+		}
+		return 0
+	})
+	rec.Gauge("failover/inflight", "reqs", 0, func() float64 { return float64(len(inflight)) })
+	rec.Gauge("failover/backlog", "tasks", 0, func() float64 { return float64(backlog()) })
+	instrumentTestbed(tb, rec)
+
 	tb.Sw.Program(func(*nic.Packet) nic.Destination {
 		bl := backlogView
 		if hr.LB.HWAssist {
@@ -374,6 +413,7 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 		if f.attempts > pol.MaxRetries {
 			dropped++
 			f.done = true
+			rec.Close(f.span, eng.Now())
 			delete(inflight, f.seq)
 			return
 		}
@@ -413,6 +453,7 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 			if rate > 0 {
 				total++
 				f := &flight{seq: nextSeq, size: nicMTU, firstSent: eng.Now()}
+				f.span = rec.Open(obs.TrackRequests, spanRequest, eng.Now())
 				nextSeq++
 				inflight[f.seq] = f
 				sentBytes[intervalOf(f.firstSent)] += float64(nicMTU)
@@ -435,24 +476,31 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 		horizon = faultEnd
 	}
 	horizon = horizon.Add(100*sim.Millisecond + pol.MaxDelay())
+	// Sensors always run during fault replays: a SensorDropout plan needs a
+	// live trace to carve its gap into, and the report surfaces how many
+	// samples the gap swallowed.
+	tb.StartSensors(horizon)
 	eng.RunUntil(horizon)
 
 	res := FaultResult{
-		Scenario:       scn.Name,
-		Total:          total,
-		Completed:      completed,
-		Retries:        retries,
-		Rescued:        rescued,
-		FailedOver:     failedOver,
-		Transitions:    len(flog.Transitions),
-		WireFramesLost: tb.Wire.Lost(),
-		EngineRejected: tb.REM.Rejected(),
+		Scenario:           scn.Name,
+		Total:              total,
+		Completed:          completed,
+		Retries:            retries,
+		Rescued:            rescued,
+		FailedOver:         failedOver,
+		Transitions:        len(flog.Transitions),
+		WireFramesLost:     tb.Wire.Lost(),
+		EngineRejected:     tb.REM.Rejected(),
+		BMCMissedSamples:   tb.BMC.MissedSamples(),
+		YoctoMissedSamples: tb.YoctoWatt.MissedSamples(),
 	}
 	// Flights still pending at the horizon never resolved: count them
 	// with the drops rather than pretending they were delivered.
 	for _, f := range inflight {
 		if !f.done {
 			dropped++
+			rec.Close(f.span, eng.Now())
 		}
 	}
 	res.Dropped = dropped
@@ -487,6 +535,22 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 		res.RecoveryTime = lastFaultEraDone.Sub(faultEnd)
 	}
 	res.AvgPowerW = float64(tb.Power.Server.Power())
+
+	if rec != nil {
+		rec.SetCount("requests.sent", float64(total))
+		rec.SetCount("requests.completed", float64(completed))
+		rec.SetCount("requests.dropped", float64(dropped))
+		rec.SetCount("failover.retries", float64(retries))
+		rec.SetCount("failover.rescued", float64(rescued))
+		rec.SetCount("failover.failed_over", float64(failedOver))
+		rec.SetCount("sensor.bmc.missed", float64(res.BMCMissedSamples))
+		rec.SetCount("sensor.yoctowatt.missed", float64(res.YoctoMissedSamples))
+		// The sensor traces themselves (with any dropout gap) export as
+		// extra series alongside the gauge-sampled power readings.
+		rec.AddSeries("power/bmc-trace", "W", tb.BMC.Period, tb.BMC.Trace.Times, tb.BMC.Trace.Values)
+		rec.AddSeries("power/yoctowatt-trace", "W", tb.YoctoWatt.Period, tb.YoctoWatt.Trace.Times, tb.YoctoWatt.Trace.Values)
+		r.Telemetry.Attach(rec)
+	}
 	return res
 }
 

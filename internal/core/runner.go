@@ -10,6 +10,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/netstack"
 	"repro/internal/nic"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -86,6 +87,11 @@ type Runner struct {
 	// Invocations are serialized; done counts are per-experiment. The
 	// callback must not mutate the runner.
 	Progress func(done, total int, label string)
+	// Telemetry, when set, collects a per-run obs.Recorder from every
+	// simulation: request spans, sampled gauges, and resource counters,
+	// exported deterministically at any parallelism. Nil disables all
+	// recording (the default); see snic.WithTelemetry.
+	Telemetry *obs.Collector
 
 	cache  measureCache
 	sims   atomic.Uint64
@@ -127,6 +133,9 @@ type runctx struct {
 	// straggle in during the post-send drain would understate overload
 	// (the drain stretches the window) and hide saturation.
 	lastSend sim.Time
+
+	// rec is the run's telemetry recorder; nil when telemetry is off.
+	rec *obs.Recorder
 }
 
 // noteSent records a request issue; at the final request it arranges the
@@ -195,6 +204,9 @@ func (r *Runner) simulate(cfg *Config, plat Platform, opts RunOpts) Measurement 
 	ctx.pool.SetQueueCapacity(4096)
 	ctx.ep = netstack.NewEndpoint(tb.Eng, ctx.prof, ctx.pool, seed^0x77)
 
+	ctx.rec = r.newRecorder(runKey(cfg, plat, r.TBConfig, opts), runLabel(cfg, plat, opts))
+	instrumentTestbed(tb, ctx.rec)
+
 	// Power bookkeeping: which pools are live, poll-mode pinning, and
 	// whether traffic crosses into host memory.
 	switch plat {
@@ -229,6 +241,7 @@ func (r *Runner) simulate(cfg *Config, plat Platform, opts RunOpts) Measurement 
 	default:
 		panic(fmt.Sprintf("core: unknown mode %q", cfg.Mode))
 	}
+	r.finishRecorder(ctx)
 	return ctx.measurement()
 }
 
@@ -323,7 +336,8 @@ func (ctx *runctx) runNetServe() {
 		}
 		ctx.noteSent()
 		size := ctx.sizes.Next(ctx.jit)
-		pkt := &nic.Packet{Seq: uint64(ctx.sent), Size: size, SentAt: eng.Now()}
+		pkt := &nic.Packet{Seq: uint64(ctx.sent), Size: size, SentAt: eng.Now(),
+			Span: uint32(ctx.openRequest())}
 		ctx.reqBytesSent += uint64(size)
 		ctx.tb.Wire.SendToServer(pkt, ctx.tb.Sw.Ingress)
 		eng.After(ctx.arrivals.Gap(size, ctx.opts.OfferedGbps*1e9), submit)
@@ -337,14 +351,26 @@ func (ctx *runctx) runNetServe() {
 // completion: stack RX + application + stack TX on one core).
 func (ctx *runctx) cpuSink(pkt *nic.Packet) {
 	eng := ctx.tb.Eng
+	root := obs.SpanID(pkt.Span)
+	ctx.stage(root, spanIngress, pkt.SentAt, eng.Now())
 	respSize := ctx.cfg.RespSize
 	svc := ctx.svcTime(pkt.Size, respSize)
 	inFixed := ctx.ep.FixedDelay() + ctx.extraLatency()
+	rxDone := eng.Now()
 	eng.After(inFixed, func() {
-		ctx.pool.ExecDuration(svc, func(_, _ sim.Time) {
+		enq := eng.Now()
+		ctx.stage(root, spanStackRx, rxDone, enq)
+		ctx.pool.ExecDuration(svc, func(s, e sim.Time) {
+			if root != 0 && s > enq {
+				ctx.stage(root, spanQueue, enq, s)
+			}
+			ctx.stage(root, spanService, s, e)
 			eng.After(ctx.ep.FixedDelay(), func() {
+				txAt := eng.Now()
 				resp := &nic.Packet{Seq: pkt.Seq, Size: respSize, SentAt: pkt.SentAt}
 				ctx.tb.Wire.SendToClient(resp, func(p *nic.Packet) {
+					ctx.stage(root, spanReturn, txAt, eng.Now())
+					ctx.closeRequest(root)
 					ctx.record(eng.Now().Sub(p.SentAt), pkt.Size)
 				})
 			})
@@ -359,15 +385,26 @@ func (ctx *runctx) cpuSink(pkt *nic.Packet) {
 // dropped RX must never be able to orphan a finished engine task.
 func (ctx *runctx) accelSink(pkt *nic.Packet) {
 	eng := ctx.tb.Eng
+	root := obs.SpanID(pkt.Span)
+	ctx.stage(root, spanIngress, pkt.SentAt, eng.Now())
+	arrive := eng.Now()
 	spec := ctx.tb.SNICSpec
 	stageCycles := (ctx.prof.RxCycles(spec.Arch, pkt.Size) +
 		accel.StagingCyclesPerTask + accel.StagingCyclesPerByte*float64(pkt.Size) + 100)
 	stageSvc := ctx.jit.LogNormalDur(sim.Cycles(stageCycles/spec.IPC, spec.BaseHz), 0.15)
-	ctx.pool.ExecDuration(stageSvc, func(_, _ sim.Time) {
-		ctx.engineSubmit(pkt.Size, func() {
+	ctx.pool.ExecDuration(stageSvc, func(s, e sim.Time) {
+		if root != 0 && s > arrive {
+			ctx.stage(root, spanQueue, arrive, s)
+		}
+		ctx.stage(root, spanStaging, s, e)
+		ctx.engineSubmit(pkt.Size, func(es, ee sim.Time) {
+			ctx.stage(root, spanEngine, es, ee)
 			eng.After(200*sim.Nanosecond, func() {
+				txAt := eng.Now()
 				resp := &nic.Packet{Seq: pkt.Seq, Size: ctx.cfg.RespSize, SentAt: pkt.SentAt}
 				ctx.tb.Wire.SendToClient(resp, func(p *nic.Packet) {
+					ctx.stage(root, spanReturn, txAt, eng.Now())
+					ctx.closeRequest(root)
 					ctx.record(eng.Now().Sub(p.SentAt), pkt.Size)
 				})
 			})
@@ -375,19 +412,20 @@ func (ctx *runctx) accelSink(pkt *nic.Packet) {
 	})
 }
 
-// engineSubmit dispatches one task to the config's engine. No fault plan
-// runs through this path, so a rejection can only be a wiring bug.
-func (ctx *runctx) engineSubmit(size int, done func()) {
+// engineSubmit dispatches one task to the config's engine; done receives
+// the engine-side service window. No fault plan runs through this path,
+// so a rejection can only be a wiring bug.
+func (ctx *runctx) engineSubmit(size int, done func(start, end sim.Time)) {
 	var err error
 	switch ctx.cfg.Engine {
 	case EngineREM:
-		err = ctx.tb.REM.Submit(size, func(_, _ sim.Time) { done() })
+		err = ctx.tb.REM.Submit(size, done)
 	case EngineDeflate:
-		err = ctx.tb.Deflate.Submit(size, func(_, _ sim.Time) { done() })
+		err = ctx.tb.Deflate.Submit(size, done)
 	case EnginePKABulk:
-		err = ctx.tb.PKA.SubmitBulk(ctx.cfg.PKAAlgo, size, func(_, _ sim.Time) { done() })
+		err = ctx.tb.PKA.SubmitBulk(ctx.cfg.PKAAlgo, size, done)
 	case EnginePKAOp:
-		err = ctx.tb.PKA.SubmitOp(ctx.cfg.PKAAlgo, func(_, _ sim.Time) { done() })
+		err = ctx.tb.PKA.SubmitOp(ctx.cfg.PKAAlgo, done)
 	default:
 		panic(fmt.Sprintf("core: %s has no engine binding", ctx.cfg.Name()))
 	}
@@ -424,19 +462,28 @@ func (ctx *runctx) runLocal() {
 		}
 		ctx.sent++
 		start := eng.Now()
+		root := ctx.openRequest()
 		finish := func() {
+			ctx.closeRequest(root)
 			ctx.record(eng.Now().Sub(start), size)
 			worker()
 		}
 		switch ctx.plat {
 		case HostCPU, SNICCPU:
-			ctx.pool.ExecDuration(ctx.localSvcTime(size), func(_, _ sim.Time) { finish() })
+			ctx.pool.ExecDuration(ctx.localSvcTime(size), func(s, e sim.Time) {
+				ctx.stage(root, spanService, s, e)
+				finish()
+			})
 		case SNICAccel:
 			// One staging core programs the engine's command registers.
 			spec := ctx.tb.SNICSpec
 			prep := sim.Cycles(400/spec.IPC, spec.BaseHz)
-			ctx.pool.ExecDuration(prep, func(_, _ sim.Time) {
-				ctx.engineSubmit(size, finish)
+			ctx.pool.ExecDuration(prep, func(s, e sim.Time) {
+				ctx.stage(root, spanStaging, s, e)
+				ctx.engineSubmit(size, func(es, ee sim.Time) {
+					ctx.stage(root, spanEngine, es, ee)
+					finish()
+				})
 			})
 		}
 	}
@@ -494,25 +541,33 @@ func (ctx *runctx) runStorage() {
 	deviceLat := 9 * sim.Microsecond
 	spec := ctx.tb.SpecFor(ctx.plat)
 
-	serveIO := func(start sim.Time) {
+	serveIO := func(start sim.Time, root obs.SpanID) {
 		// Initiator CPU posts the command.
 		post := ctx.jit.LogNormalDur(
 			sim.Cycles(ctx.appCycles(ctx.cfg.ReqSize)/spec.IPC, spec.BaseHz), 0.15)
-		ctx.pool.ExecDuration(post, func(_, _ sim.Time) {
+		ctx.pool.ExecDuration(post, func(s, e sim.Time) {
+			ctx.stage(root, spanService, s, e)
 			fixed := ctx.ep.FixedDelay() + ctx.extraLatency()
 			eng.After(fixed, func() {
 				// Command crosses the wire; the target's NVMe-oF offload
 				// engine serves it with no CPU, then the data block
 				// crosses back (read) or is written (write) — either way
 				// one 64 KB transfer occupies the wire.
+				cmdAt := eng.Now()
 				cmd := &nic.Packet{Size: 96, SentAt: start}
 				ctx.tb.Wire.SendToClient(cmd, func(*nic.Packet) {
+					ctx.stage(root, spanIngress, cmdAt, eng.Now())
+					devAt := eng.Now()
 					eng.After(deviceLat, func() {
+						ctx.stage(root, spanDevice, devAt, eng.Now())
+						dataAt := eng.Now()
 						data := &nic.Packet{Size: block, SentAt: start}
 						ctx.tb.Wire.SendToServer(data, func(p *nic.Packet) {
+							ctx.stage(root, spanReturn, dataAt, eng.Now())
 							// Completion interrupt/poll on the initiator.
 							comp := sim.Cycles(600/spec.IPC, spec.BaseHz)
 							ctx.pool.ExecDuration(comp, func(_, _ sim.Time) {
+								ctx.closeRequest(root)
 								ctx.record(eng.Now().Sub(p.SentAt), block)
 							})
 						})
@@ -527,7 +582,7 @@ func (ctx *runctx) runStorage() {
 			return
 		}
 		ctx.noteSent()
-		serveIO(eng.Now())
+		serveIO(eng.Now(), ctx.openRequest())
 		eng.After(ctx.arrivals.Gap(block, ctx.opts.OfferedGbps*1e9), issue)
 	}
 	eng.At(0, issue)
@@ -548,12 +603,17 @@ func (ctx *runctx) runSwitched() {
 		}
 		ctx.noteSent()
 		size := ctx.cfg.ReqSize
-		pkt := &nic.Packet{Size: size, SentAt: eng.Now()}
+		pkt := &nic.Packet{Size: size, SentAt: eng.Now(), Span: uint32(ctx.openRequest())}
 		ctx.tb.Wire.SendToServer(pkt, func(p *nic.Packet) {
+			root := obs.SpanID(p.Span)
 			// Hardware datapath: eSwitch forwards at line rate.
 			eng.After(ctx.tb.Sw.SwitchDelay, func() {
+				ctx.stage(root, spanIngress, p.SentAt, eng.Now())
+				txAt := eng.Now()
 				resp := &nic.Packet{Size: size, SentAt: p.SentAt}
 				ctx.tb.Wire.SendToClient(resp, func(q *nic.Packet) {
+					ctx.stage(root, spanReturn, txAt, eng.Now())
+					ctx.closeRequest(root)
 					ctx.record(eng.Now().Sub(q.SentAt), size)
 				})
 			})

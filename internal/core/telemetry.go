@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// Telemetry wiring. A Runner with a non-nil Telemetry collector gives
+// every simulation a per-run obs.Recorder: request spans through the
+// sinks, gauges polled on a virtual-time sampler, and resource counters
+// from the sim-layer observers. With Telemetry nil every hook below
+// degenerates to a nil check, so disabled telemetry cannot perturb
+// results or cost measurable time.
+
+// Span names used on the request track. Stage children cover every
+// station a request crosses: the wire, the stack, the core-pool queue
+// and service, the accelerator engine, and the return path.
+const (
+	spanRequest = "request"
+	spanIngress = "wire+switch" // client→server serialization + eSwitch
+	spanStackRx = "stack-rx"    // fixed RX-side stack/PCIe delay
+	spanQueue   = "queue"       // waiting for a core
+	spanService = "cpu-service" // run-to-completion on a core
+	spanStaging = "staging"     // SNIC staging-core work before an engine
+	spanEngine  = "engine"      // accelerator batch residency
+	spanReturn  = "wire-return" // TX-side stack + server→client wire
+	spanDevice  = "device"      // storage-target service time
+)
+
+// newRecorder derives a run's recorder from its memoization key: the
+// run ID is a pure function of the key, so two workers racing the same
+// run produce the same ID and the collector deduplicates them.
+func (r *Runner) newRecorder(key, label string) *obs.Recorder {
+	if r.Telemetry == nil {
+		return nil
+	}
+	return r.Telemetry.NewRecorder(obs.DeriveRunID(key), label)
+}
+
+// runLabel is the human-readable run description used in exports. It
+// never contains commas (CSV) and is unique per memo key in practice;
+// export order falls back to run ID on label ties.
+func runLabel(cfg *Config, plat Platform, opts RunOpts) string {
+	return fmt.Sprintf("run %s @ %s | off %g Gb/s | req %d | seed %d",
+		cfg.Name(), plat, opts.OfferedGbps, opts.Requests, opts.Seed)
+}
+
+// instrumentTestbed installs the recorder as observer on every resource
+// and registers the standard gauge set, then starts the virtual-time
+// sampler. Pool/engine/link gauges sample at the 1 ms default; the
+// power gauges sample at their instrument's cadence (BMC 1 Hz,
+// Yocto-Watt 10 Hz) with the instrument's quantization, mirroring what
+// the paper's rig would have recorded.
+func instrumentTestbed(tb *Testbed, rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	tb.HostPool.Instrument("pool/host", rec)
+	tb.SNICPool.Instrument("pool/snic", rec)
+	tb.StagingPool.Instrument("pool/staging", rec)
+	tb.REM.Observe("engine/rem", rec, rec)
+	tb.Deflate.Observe("engine/deflate", rec, rec)
+	tb.PKA.Observe("engine/pka", rec)
+	tb.Wire.Observe(rec)
+	tb.Bus.Observe(rec)
+
+	rec.Gauge("pool/host/queue", "jobs", 0, func() float64 { return float64(tb.HostPool.QueueLen()) })
+	rec.Gauge("pool/host/busy", "cores", 0, func() float64 { return float64(tb.HostPool.Busy()) })
+	rec.Gauge("pool/snic/queue", "jobs", 0, func() float64 { return float64(tb.SNICPool.QueueLen()) })
+	rec.Gauge("pool/snic/busy", "cores", 0, func() float64 { return float64(tb.SNICPool.Busy()) })
+	rec.Gauge("pool/staging/queue", "jobs", 0, func() float64 { return float64(tb.StagingPool.QueueLen()) })
+	rec.Gauge("pool/staging/busy", "cores", 0, func() float64 { return float64(tb.StagingPool.Busy()) })
+	rec.Gauge("engine/rem/queue", "batches", 0, func() float64 { return float64(tb.REM.QueueLen()) })
+	rec.Gauge("engine/rem/util", "frac", 0, tb.REM.Utilization)
+	rec.Gauge("engine/deflate/queue", "batches", 0, func() float64 { return float64(tb.Deflate.QueueLen()) })
+	rec.Gauge("engine/deflate/util", "frac", 0, tb.Deflate.Utilization)
+	rec.Gauge("engine/pka/util", "frac", 0, tb.PKA.Utilization)
+	rec.Gauge("wire/c2s/backlog", "s", 0, func() float64 { return tb.Wire.ServerDirBacklog().Seconds() })
+	rec.Gauge("wire/s2c/backlog", "s", 0, func() float64 { return tb.Wire.ClientDirBacklog().Seconds() })
+	rec.Gauge("pcie/up/backlog", "s", 0, func() float64 { return tb.Bus.UpBacklog().Seconds() })
+	rec.Gauge("pcie/down/backlog", "s", 0, func() float64 { return tb.Bus.DownBacklog().Seconds() })
+	rec.Gauge("power/server", "W", tb.BMC.Period, func() float64 { return float64(tb.BMC.Reading()) })
+	rec.Gauge("power/snic", "W", tb.YoctoWatt.Period, func() float64 { return float64(tb.YoctoWatt.Reading()) })
+
+	rec.StartSampler(tb.Eng)
+}
+
+// finishRecorder stamps end-of-run counters and hands the recorder to
+// the collector. Nil-safe.
+func (r *Runner) finishRecorder(ctx *runctx) {
+	rec := ctx.rec
+	if rec == nil {
+		return
+	}
+	rec.SetCount("requests.sent", float64(ctx.sent))
+	rec.SetCount("requests.completed", float64(ctx.done))
+	rec.SetCount("pool.shed", float64(ctx.pool.Dropped()))
+	rec.SetCount("wire.lost", float64(ctx.tb.Wire.Lost()))
+	r.Telemetry.Attach(rec)
+}
+
+// openRequest opens a request root span at the current virtual time.
+// Returns 0 (untraced) when telemetry is off.
+func (ctx *runctx) openRequest() obs.SpanID {
+	if ctx.rec == nil {
+		return 0
+	}
+	return ctx.rec.Open(obs.TrackRequests, spanRequest, ctx.tb.Eng.Now())
+}
+
+// stage records one stage child span of a request. root==0 (telemetry
+// off, or an untraced packet) makes this a no-op.
+func (ctx *runctx) stage(root obs.SpanID, name string, start, end sim.Time) {
+	if root == 0 {
+		return
+	}
+	ctx.rec.Span(obs.TrackRequests, name, root, start, end)
+}
+
+// closeRequest ends a request root span at the current virtual time.
+func (ctx *runctx) closeRequest(root obs.SpanID) {
+	if root == 0 {
+		return
+	}
+	ctx.rec.Close(root, ctx.tb.Eng.Now())
+}

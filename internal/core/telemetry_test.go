@@ -1,0 +1,137 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// shortBursty is a trace small enough for unit tests: 20 intervals of
+// 400 µs at sub-Gb/s rates.
+func shortBursty() *trace.HyperscalerTrace {
+	return BurstyTrace(0.4, 2, 20, 6, 400*sim.Microsecond)
+}
+
+func TestTelemetrySpanCountMatchesRequests(t *testing.T) {
+	r := NewRunner()
+	r.Telemetry = obs.NewCollector()
+	cfg, err := Lookup("nat", "10K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultRunOpts()
+	opts.Requests = 500
+	opts.OfferedGbps = 0.2
+	r.Run(cfg, HostCPU, opts)
+
+	runs := r.Telemetry.Runs()
+	if len(runs) != 1 {
+		t.Fatalf("run count = %d, want 1", len(runs))
+	}
+	rec := runs[0]
+	if rec.RootCount() != opts.Requests {
+		t.Fatalf("request root spans = %d, want %d", rec.RootCount(), opts.Requests)
+	}
+	if rec.OpenCount() != 0 {
+		t.Fatalf("open spans = %d, want 0 (every request completed)", rec.OpenCount())
+	}
+	if rec.SpanCount() <= rec.RootCount() {
+		t.Fatalf("expected stage children beyond the %d roots, got %d spans total",
+			rec.RootCount(), rec.SpanCount())
+	}
+	m := rec.Manifest()
+	if m.Requests != opts.Requests {
+		t.Fatalf("manifest requests = %d, want %d", m.Requests, opts.Requests)
+	}
+	if rec.SampleCount() == 0 {
+		t.Fatal("sampler recorded no metric samples")
+	}
+}
+
+func TestTelemetryDoesNotPerturbMeasurement(t *testing.T) {
+	cfg, err := Lookup("nat", "10K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultRunOpts()
+	opts.Requests = 400
+	opts.OfferedGbps = 0.2
+
+	plain := NewRunner()
+	instrumented := NewRunner()
+	instrumented.Telemetry = obs.NewCollector()
+	a := plain.Run(cfg, HostCPU, opts)
+	b := instrumented.Run(cfg, HostCPU, opts)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("telemetry changed the measurement:\n  off %+v\n  on  %+v", a, b)
+	}
+}
+
+// TestTelemetryExportsIdenticalAcrossParallelism runs the fault-scenario
+// family — which fans across goroutines — at parallelism 1 and 8 and
+// requires every export to be byte-identical.
+func TestTelemetryExportsIdenticalAcrossParallelism(t *testing.T) {
+	tr := shortBursty()
+	exports := func(par int) (trace, csv, manifests []byte) {
+		r := NewRunner()
+		r.Parallelism = par
+		r.Telemetry = obs.NewCollector()
+		mk := func() *HealthRouter {
+			return NewHealthRouter(HWLoadBalancer(), DefaultFailoverPolicy())
+		}
+		r.RunFaultedSet(DefaultFaultScenarios(tr.Duration()), mk, tr, 2, 7)
+		var bt, bc, bm bytes.Buffer
+		if err := r.Telemetry.WriteTrace(&bt); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Telemetry.WriteMetricsCSV(&bc); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Telemetry.WriteManifests(&bm); err != nil {
+			t.Fatal(err)
+		}
+		return bt.Bytes(), bc.Bytes(), bm.Bytes()
+	}
+	t1, c1, m1 := exports(1)
+	t8, c8, m8 := exports(8)
+	if !bytes.Equal(t1, t8) {
+		t.Error("trace export differs between parallelism 1 and 8")
+	}
+	if !bytes.Equal(c1, c8) {
+		t.Error("metrics CSV differs between parallelism 1 and 8")
+	}
+	if !bytes.Equal(m1, m8) {
+		t.Error("manifests differ between parallelism 1 and 8")
+	}
+}
+
+func TestFaultSensorDropoutSurfaced(t *testing.T) {
+	// A trace long enough for the 100 ms Yocto-Watt cadence to tick, with
+	// a dropout window swallowing some of those ticks.
+	tr := BurstyTrace(0.05, 0.2, 40, 10, 10*sim.Millisecond) // 400 ms span
+	var plan fault.Plan
+	plan.Add(fault.Event{At: sim.Time(50 * sim.Millisecond), For: 250 * sim.Millisecond,
+		Kind: fault.SensorDropout, Target: "yoctowatt"})
+	scn := FaultScenario{Name: "sensor-gap", Desc: "yocto-watt offline", Plan: plan}
+
+	r := NewRunner()
+	hr := NewHealthRouter(HWLoadBalancer(), DefaultFailoverPolicy())
+	res := r.RunFaulted(scn, hr, tr, 2, 11)
+	if res.YoctoMissedSamples == 0 {
+		t.Fatal("expected the dropout window to swallow Yocto-Watt samples")
+	}
+	if res.BMCMissedSamples != 0 {
+		t.Fatalf("BMC was not dropped, missed = %d", res.BMCMissedSamples)
+	}
+
+	// The same replay without the dropout misses nothing.
+	base := r.RunFaulted(FaultScenario{Name: "clean"}, hr, tr, 2, 11)
+	if base.YoctoMissedSamples != 0 || base.BMCMissedSamples != 0 {
+		t.Fatalf("clean replay reported missed samples: %+v", base)
+	}
+}

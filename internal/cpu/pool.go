@@ -151,6 +151,12 @@ func (p *Pool) ExecDuration(svc sim.Duration, done func(start, end sim.Time)) bo
 // Bounding it models NIC RX ring overrun shedding work before the cores.
 func (p *Pool) SetQueueCapacity(n int) { p.station.Capacity = n }
 
+// Instrument installs a telemetry observer on the pool's station under
+// the given name. Observers are pure recorders (see sim.StationObserver).
+func (p *Pool) Instrument(name string, obs sim.StationObserver) {
+	p.station.Observe(name, obs)
+}
+
 // Utilization returns mean busy fraction across cores.
 func (p *Pool) Utilization() float64 { return p.station.Utilization() }
 

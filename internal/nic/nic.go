@@ -31,6 +31,10 @@ type Packet struct {
 	Size   int      // L2 frame bytes (headers + payload)
 	Flow   uint64   // flow identifier for steering and NAT/OvS lookups
 	SentAt sim.Time // client-side departure time, for RTT accounting
+	// Span optionally carries a telemetry span identifier so sinks can
+	// attach stage timings to the request that triggered them; zero
+	// means untraced.
+	Span uint32
 	// Payload carries the application-level object (a KVS request, a
 	// chunk to compress, ...). The simulator moves it; functions parse it.
 	Payload any
@@ -237,6 +241,19 @@ func (w *Wire) ServerDirUtilization() float64 { return w.clientToServer.Utilizat
 
 // ClientDirUtilization reports the server→client direction utilization.
 func (w *Wire) ClientDirUtilization() float64 { return w.serverToClient.Utilization() }
+
+// Observe installs a telemetry observer on both directions, named
+// "wire/c2s" (client→server) and "wire/s2c" (server→client).
+func (w *Wire) Observe(obs sim.LinkObserver) {
+	w.clientToServer.Observe("wire/c2s", obs)
+	w.serverToClient.Observe("wire/s2c", obs)
+}
+
+// ServerDirBacklog returns the client→server serialization backlog.
+func (w *Wire) ServerDirBacklog() sim.Duration { return w.clientToServer.Backlog() }
+
+// ClientDirBacklog returns the server→client serialization backlog.
+func (w *Wire) ClientDirBacklog() sim.Duration { return w.serverToClient.Backlog() }
 
 // ServerDirBytes returns bytes sent toward the server.
 func (w *Wire) ServerDirBytes() uint64 { return w.clientToServer.BytesSent() }

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"repro/internal/sim"
+)
+
+// DefaultSamplePeriod is the gauge cadence when a registration passes
+// period 0: 1 ms of simulated time.
+const DefaultSamplePeriod = sim.Millisecond
+
+// Series is one sampled metric: (time, value) pairs at a nominal
+// period. Sensor traces imported from the power model reuse the same
+// shape, so exporters treat emulated IPMI/Yocto-Watt readings and
+// simulator gauges uniformly.
+type Series struct {
+	Name   string
+	Unit   string
+	Period sim.Duration
+	Times  []sim.Time
+	Values []float64
+}
+
+// gauge is a registered sampling closure feeding a Series.
+type gauge struct {
+	series *Series
+	fn     func() float64
+}
+
+// Gauge registers a sampled metric. fn is polled on the virtual-time
+// sampler at the given period (0 means DefaultSamplePeriod) and must be
+// a pure read of model state. Nil-safe.
+func (r *Recorder) Gauge(name, unit string, period sim.Duration, fn func() float64) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		panic("obs: nil gauge")
+	}
+	if period <= 0 {
+		period = DefaultSamplePeriod
+	}
+	s := &Series{Name: name, Unit: unit, Period: period}
+	r.series = append(r.series, s)
+	r.gauges = append(r.gauges, gauge{series: s, fn: fn})
+}
+
+// AddSeries attaches a pre-sampled series (e.g. a power.Sensor trace
+// copied at end of run). Times and values are copied. Nil-safe.
+func (r *Recorder) AddSeries(name, unit string, period sim.Duration, times []sim.Time, values []float64) {
+	if r == nil {
+		return
+	}
+	if len(times) != len(values) {
+		panic("obs: series length mismatch")
+	}
+	s := &Series{Name: name, Unit: unit, Period: period}
+	s.Times = append(s.Times, times...)
+	s.Values = append(s.Values, values...)
+	r.series = append(r.series, s)
+}
+
+// Series returns the recorded series in registration order.
+func (r *Recorder) Series() []*Series {
+	if r == nil {
+		return nil
+	}
+	return r.series
+}
+
+// SampleCount returns the total number of samples across all series.
+func (r *Recorder) SampleCount() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for _, s := range r.series {
+		n += len(s.Times)
+	}
+	return n
+}
+
+// StartSampler begins polling registered gauges on eng's virtual-time
+// tickers. Gauges sharing a period share one ticker, every gauge is
+// sampled once immediately (the t=0 baseline), and sampling stops by
+// itself when the model drains (see sim.Engine.Ticker). Nil-safe.
+func (r *Recorder) StartSampler(eng *sim.Engine) {
+	if r == nil || len(r.gauges) == 0 {
+		return
+	}
+	byPeriod := make(map[sim.Duration][]gauge)
+	var periods []sim.Duration
+	for _, g := range r.gauges {
+		p := g.series.Period
+		if _, ok := byPeriod[p]; !ok {
+			periods = append(periods, p)
+		}
+		byPeriod[p] = append(byPeriod[p], g)
+	}
+	for _, p := range periods {
+		group := byPeriod[p]
+		sample := func() {
+			now := eng.Now()
+			for _, g := range group {
+				g.series.Times = append(g.series.Times, now)
+				g.series.Values = append(g.series.Values, g.fn())
+			}
+		}
+		sample()
+		eng.Ticker(p, sample)
+	}
+}

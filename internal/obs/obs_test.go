@@ -1,0 +1,245 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestDeriveRunIDStable(t *testing.T) {
+	a := DeriveRunID("run|foo|@host-cpu")
+	b := DeriveRunID("run|foo|@host-cpu")
+	c := DeriveRunID("run|bar|@host-cpu")
+	if a != b {
+		t.Fatalf("same key gave different IDs: %x vs %x", a, b)
+	}
+	if a == c {
+		t.Fatalf("distinct keys collided: %x", a)
+	}
+}
+
+func TestSpanOpenCloseAndCounts(t *testing.T) {
+	r := NewRecorder(1, "t")
+	root := r.Open(TrackRequests, "request", 100)
+	child := r.OpenChild(TrackRequests, "stage", root, 110)
+	r.Close(child, 150)
+	r.Span(TrackRequests, "stage2", root, 150, 190)
+	r.Close(root, 200)
+	if r.SpanCount() != 3 {
+		t.Fatalf("SpanCount = %d, want 3", r.SpanCount())
+	}
+	if r.RootCount() != 1 {
+		t.Fatalf("RootCount = %d, want 1", r.RootCount())
+	}
+	if r.OpenCount() != 0 {
+		t.Fatalf("OpenCount = %d, want 0", r.OpenCount())
+	}
+	// Closing twice, or closing span 0, must be harmless no-ops.
+	r.Close(root, 999)
+	r.Close(0, 999)
+	left := r.Open(TrackRequests, "request", 300) // never closed
+	_ = left
+	if r.OpenCount() != 1 {
+		t.Fatalf("OpenCount after dangling open = %d, want 1", r.OpenCount())
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	id := r.Open(TrackRequests, "request", 0)
+	if id != 0 {
+		t.Fatalf("nil recorder Open = %d, want 0", id)
+	}
+	r.Close(id, 10)
+	r.Span(TrackRequests, "x", 0, 0, 1)
+	r.Gauge("g", "u", 0, func() float64 { return 1 })
+	r.SetCount("c", 1)
+	r.Count("c", 1)
+	if r.SpanCount() != 0 || r.SampleCount() != 0 {
+		t.Fatal("nil recorder must report zero everything")
+	}
+}
+
+func TestSamplerGroupsByPeriod(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder(1, "t")
+	var fast, slow float64
+	r.Gauge("fast", "u", 10, func() float64 { fast++; return fast })
+	r.Gauge("slow", "u", 40, func() float64 { slow++; return slow })
+	r.StartSampler(eng)
+	eng.At(100, func() {}) // model horizon
+	eng.Run()
+	series := r.Series()
+	if len(series) != 2 {
+		t.Fatalf("series count = %d, want 2", len(series))
+	}
+	byName := map[string]*Series{}
+	for _, s := range series {
+		byName[s.Name] = s
+	}
+	nf, ns := len(byName["fast"].Times), len(byName["slow"].Times)
+	// Both sample once at t=0, then at their own cadence to ~t=100.
+	if nf < 10 || nf > 12 {
+		t.Fatalf("fast samples = %d, want ~11", nf)
+	}
+	if ns < 3 || ns > 4 {
+		t.Fatalf("slow samples = %d, want ~3", ns)
+	}
+	if byName["fast"].Times[0] != 0 {
+		t.Fatalf("first sample at %v, want 0", byName["fast"].Times[0])
+	}
+}
+
+// buildRecorder makes a deterministic recorder with spans and metrics.
+func buildRecorder(id uint64, label string) *Recorder {
+	r := NewRecorder(id, label)
+	for i := 0; i < 3; i++ {
+		at := sim.Time(i * 1000)
+		root := r.Open(TrackRequests, "request", at)
+		r.Span(TrackRequests, "stage", root, at.Add(10), at.Add(400))
+		r.Close(root, at.Add(500))
+	}
+	r.AddSeries("q", "jobs", 100, []sim.Time{0, 100, 200}, []float64{0, 2, 1})
+	r.SetCount("requests.sent", 3)
+	return r
+}
+
+func TestExportDeterministicUnderAttachOrder(t *testing.T) {
+	mk := func(reverse bool) *Collector {
+		c := NewCollector()
+		recs := []*Recorder{
+			buildRecorder(7, "run b"),
+			buildRecorder(3, "run a"),
+			buildRecorder(9, "run a"), // label tie → run-ID order
+		}
+		if reverse {
+			for i, j := 0, len(recs)-1; i < j; i, j = i+1, j-1 {
+				recs[i], recs[j] = recs[j], recs[i]
+			}
+		}
+		for _, r := range recs {
+			c.Attach(r)
+		}
+		return c
+	}
+	for _, export := range []struct {
+		name  string
+		write func(*Collector, *bytes.Buffer) error
+	}{
+		{"trace", func(c *Collector, b *bytes.Buffer) error { return c.WriteTrace(b) }},
+		{"csv", func(c *Collector, b *bytes.Buffer) error { return c.WriteMetricsCSV(b) }},
+		{"json", func(c *Collector, b *bytes.Buffer) error { return c.WriteMetricsJSON(b) }},
+		{"manifests", func(c *Collector, b *bytes.Buffer) error { return c.WriteManifests(b) }},
+	} {
+		var fwd, rev bytes.Buffer
+		if err := export.write(mk(false), &fwd); err != nil {
+			t.Fatalf("%s: %v", export.name, err)
+		}
+		if err := export.write(mk(true), &rev); err != nil {
+			t.Fatalf("%s: %v", export.name, err)
+		}
+		if !bytes.Equal(fwd.Bytes(), rev.Bytes()) {
+			t.Fatalf("%s export depends on attach order", export.name)
+		}
+	}
+}
+
+func TestAttachDeduplicatesByRunID(t *testing.T) {
+	c := NewCollector()
+	c.Attach(buildRecorder(5, "x"))
+	c.Attach(buildRecorder(5, "x")) // racing worker of the same memo key
+	runs, requests, spans := c.Totals()
+	if runs != 1 || requests != 3 || spans != 6 {
+		t.Fatalf("totals = %d/%d/%d, want 1/3/6", runs, requests, spans)
+	}
+}
+
+func TestTraceIsValidChromeJSON(t *testing.T) {
+	c := NewCollector()
+	c.Attach(buildRecorder(1, "run"))
+	var buf bytes.Buffer
+	if err := c.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var begins, ends, counters, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev["ph"] {
+		case "b":
+			begins++
+		case "e":
+			ends++
+		case "C":
+			counters++
+		case "M":
+			meta++
+		}
+	}
+	// 3 requests + 3 stages as async begin/end pairs; 3 counter samples.
+	if begins != 6 || ends != 6 {
+		t.Fatalf("async pairs = %d/%d, want 6/6", begins, ends)
+	}
+	if counters != 3 {
+		t.Fatalf("counter events = %d, want 3", counters)
+	}
+	if meta == 0 {
+		t.Fatal("expected process/thread metadata events")
+	}
+}
+
+func TestMetricsCSVShape(t *testing.T) {
+	c := NewCollector()
+	c.Attach(buildRecorder(1, "run one"))
+	var buf bytes.Buffer
+	if err := c.WriteMetricsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "run,series,unit,period_ns,time_ns,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if len(lines) != 4 { // header + 3 samples
+		t.Fatalf("line count = %d, want 4:\n%s", len(lines), buf.String())
+	}
+	for _, l := range lines[1:] {
+		if got := len(strings.Split(l, ",")); got != 6 {
+			t.Fatalf("row %q has %d fields, want 6", l, got)
+		}
+	}
+}
+
+func TestManifestCounts(t *testing.T) {
+	c := NewCollector()
+	r := buildRecorder(2, "m")
+	r.Open(TrackRequests, "request", 5000) // dangling
+	c.Attach(r)
+	ms := c.Manifests()
+	if len(ms) != 1 {
+		t.Fatalf("manifest count = %d", len(ms))
+	}
+	m := ms[0]
+	if m.Requests != 4 || m.Spans != 7 || m.OpenSpans != 1 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	if m.Series != 1 || m.Samples != 3 {
+		t.Fatalf("series/samples = %d/%d, want 1/3", m.Series, m.Samples)
+	}
+	found := false
+	for _, cn := range m.Counters {
+		if cn.Name == "requests.sent" && cn.Value == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("explicit counter missing: %+v", m.Counters)
+	}
+}

@@ -1,0 +1,293 @@
+// Package obs is the virtual-time telemetry layer: request spans,
+// sampled metrics, and deterministic trace export.
+//
+// A Recorder belongs to exactly one simulation run (one sim.Engine) and
+// is driven synchronously from that run's event loop, so it needs no
+// locking. Recorders are handed to a Collector when the run finishes;
+// the Collector sorts and deduplicates at export time so output is
+// byte-identical at any parallelism.
+//
+// Everything here is a pure observer: recording never mutates model
+// state, never draws from model RNG streams, and never schedules model
+// events, so enabling telemetry cannot change simulation results.
+package obs
+
+import (
+	"repro/internal/sim"
+)
+
+// TrackRequests is the span track that carries request lifecycles. One
+// root span is opened per simulated request; stage children link to it.
+const TrackRequests = "requests"
+
+// SpanID identifies a span within one Recorder. IDs are 1-based; zero
+// means "no span" and is safe to pass to every Recorder method.
+type SpanID uint32
+
+// span is the compact in-memory form. Track and name are interned
+// per-recorder; end is open (span still in flight) while < start.
+type span struct {
+	start, end sim.Time
+	parent     SpanID
+	track      uint16
+	name       uint16
+}
+
+// openEnd marks a span whose Close was never reached (e.g. the request
+// was shed at a full queue). Exporters render these with zero duration
+// and manifests count them.
+const openEnd = sim.Time(-1)
+
+// resourceStats aggregates the observer callbacks per resource name.
+type resourceStats struct {
+	queued, started, finished, dropped uint64
+	frames, bytes, lostFrames          uint64
+	batches, batchTasks                uint64
+	peakQueue                          int
+}
+
+// Recorder captures one run's telemetry.
+type Recorder struct {
+	runID uint64
+	label string
+	// Detail additionally records a span per station job and link frame
+	// on per-resource tracks. Off by default: request spans plus gauges
+	// explain saturation without the O(events) volume.
+	Detail bool
+
+	tracks   []string
+	trackIdx map[string]uint16
+	names    []string
+	nameIdx  map[string]uint16
+	spans    []span
+
+	series []*Series
+	gauges []gauge
+
+	counters    map[string]float64
+	counterKeys []string // insertion order, for deterministic export
+
+	resources    map[string]*resourceStats
+	resourceKeys []string
+}
+
+// NewRecorder returns a recorder for one run. runID must be unique and
+// deterministic across processes (see DeriveRunID); label is the
+// human-readable run description used in exports.
+func NewRecorder(runID uint64, label string) *Recorder {
+	return &Recorder{
+		runID:     runID,
+		label:     label,
+		trackIdx:  make(map[string]uint16),
+		nameIdx:   make(map[string]uint16),
+		counters:  make(map[string]float64),
+		resources: make(map[string]*resourceStats),
+	}
+}
+
+// RunID returns the recorder's deterministic run identifier.
+func (r *Recorder) RunID() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.runID
+}
+
+// Label returns the recorder's run description.
+func (r *Recorder) Label() string {
+	if r == nil {
+		return ""
+	}
+	return r.label
+}
+
+func (r *Recorder) internTrack(track string) uint16 {
+	if i, ok := r.trackIdx[track]; ok {
+		return i
+	}
+	i := uint16(len(r.tracks))
+	r.tracks = append(r.tracks, track)
+	r.trackIdx[track] = i
+	return i
+}
+
+func (r *Recorder) internName(name string) uint16 {
+	if i, ok := r.nameIdx[name]; ok {
+		return i
+	}
+	i := uint16(len(r.names))
+	r.names = append(r.names, name)
+	r.nameIdx[name] = i
+	return i
+}
+
+// Open starts a span on track at start and returns its ID. Nil-safe:
+// a nil recorder returns 0.
+func (r *Recorder) Open(track, name string, start sim.Time) SpanID {
+	if r == nil {
+		return 0
+	}
+	r.spans = append(r.spans, span{
+		start: start, end: openEnd,
+		track: r.internTrack(track), name: r.internName(name),
+	})
+	return SpanID(len(r.spans))
+}
+
+// OpenChild starts a span linked to parent. Nil-safe.
+func (r *Recorder) OpenChild(track, name string, parent SpanID, start sim.Time) SpanID {
+	id := r.Open(track, name, start)
+	if id != 0 {
+		r.spans[id-1].parent = parent
+	}
+	return id
+}
+
+// Close ends an open span. Closing span 0 or an already-closed span is
+// a no-op. Nil-safe.
+func (r *Recorder) Close(id SpanID, end sim.Time) {
+	if r == nil || id == 0 || int(id) > len(r.spans) {
+		return
+	}
+	sp := &r.spans[id-1]
+	if sp.end == openEnd {
+		sp.end = end
+	}
+}
+
+// Span records a complete child span in one call. parent may be 0 for
+// a free-standing span. Nil-safe.
+func (r *Recorder) Span(track, name string, parent SpanID, start, end sim.Time) SpanID {
+	if r == nil {
+		return 0
+	}
+	r.spans = append(r.spans, span{
+		start: start, end: end, parent: parent,
+		track: r.internTrack(track), name: r.internName(name),
+	})
+	return SpanID(len(r.spans))
+}
+
+// SpanCount returns the number of spans recorded so far.
+func (r *Recorder) SpanCount() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.spans)
+}
+
+// RootCount returns the number of parentless spans on the requests
+// track — by construction, one per simulated request.
+func (r *Recorder) RootCount() int {
+	if r == nil {
+		return 0
+	}
+	ti, ok := r.trackIdx[TrackRequests]
+	if !ok {
+		return 0
+	}
+	n := 0
+	for i := range r.spans {
+		if r.spans[i].parent == 0 && r.spans[i].track == ti {
+			n++
+		}
+	}
+	return n
+}
+
+// OpenCount returns spans never closed (requests shed mid-flight).
+func (r *Recorder) OpenCount() int {
+	if r == nil {
+		return 0
+	}
+	n := 0
+	for i := range r.spans {
+		if r.spans[i].end == openEnd {
+			n++
+		}
+	}
+	return n
+}
+
+// Count adds delta to a named counter. Nil-safe.
+func (r *Recorder) Count(name string, delta float64) {
+	if r == nil {
+		return
+	}
+	if _, ok := r.counters[name]; !ok {
+		r.counterKeys = append(r.counterKeys, name)
+	}
+	r.counters[name] += delta
+}
+
+// SetCount sets a named counter to an absolute value. Nil-safe.
+func (r *Recorder) SetCount(name string, v float64) {
+	if r == nil {
+		return
+	}
+	if _, ok := r.counters[name]; !ok {
+		r.counterKeys = append(r.counterKeys, name)
+	}
+	r.counters[name] = v
+}
+
+func (r *Recorder) resource(name string) *resourceStats {
+	rs, ok := r.resources[name]
+	if !ok {
+		rs = &resourceStats{}
+		r.resources[name] = rs
+		r.resourceKeys = append(r.resourceKeys, name)
+	}
+	return rs
+}
+
+// ---- sim observer implementations ----
+// A Recorder can be installed directly as the observer on every station,
+// batch engine, and link of a testbed.
+
+// JobQueued implements sim.StationObserver.
+func (r *Recorder) JobQueued(station string, _ sim.Time, queueLen int) {
+	rs := r.resource(station)
+	rs.queued++
+	if queueLen > rs.peakQueue {
+		rs.peakQueue = queueLen
+	}
+}
+
+// JobStarted implements sim.StationObserver.
+func (r *Recorder) JobStarted(station string, _ sim.Time, _ sim.Duration) {
+	r.resource(station).started++
+}
+
+// JobFinished implements sim.StationObserver.
+func (r *Recorder) JobFinished(station string, start, end sim.Time) {
+	r.resource(station).finished++
+	if r.Detail {
+		r.Span(station, "job", 0, start, end)
+	}
+}
+
+// JobDropped implements sim.StationObserver.
+func (r *Recorder) JobDropped(station string, _ sim.Time) {
+	r.resource(station).dropped++
+}
+
+// FrameSent implements sim.LinkObserver.
+func (r *Recorder) FrameSent(link string, size int, start, done sim.Time, lost bool) {
+	rs := r.resource(link)
+	rs.frames++
+	rs.bytes += uint64(size)
+	if lost {
+		rs.lostFrames++
+	}
+	if r.Detail {
+		r.Span(link, "frame", 0, start, done)
+	}
+}
+
+// BatchFlushed implements sim.BatchObserver.
+func (r *Recorder) BatchFlushed(station string, tasks int, _ sim.Duration, _ sim.Time) {
+	rs := r.resource(station)
+	rs.batches++
+	rs.batchTasks += uint64(tasks)
+}

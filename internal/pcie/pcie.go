@@ -112,6 +112,19 @@ func (b *Bus) Doorbell(rung func()) {
 	b.eng.After(sim.Duration(b.Config.MMIOWriteNs)+sim.Duration(b.Config.RoundTripNs/2), rung)
 }
 
+// Observe installs a telemetry observer on both directions, named
+// "pcie/up" (device→host) and "pcie/down" (host→device).
+func (b *Bus) Observe(obs sim.LinkObserver) {
+	b.up.Observe("pcie/up", obs)
+	b.down.Observe("pcie/down", obs)
+}
+
+// UpBacklog returns the device→host serialization backlog.
+func (b *Bus) UpBacklog() sim.Duration { return b.up.Backlog() }
+
+// DownBacklog returns the host→device serialization backlog.
+func (b *Bus) DownBacklog() sim.Duration { return b.down.Backlog() }
+
 // DMACount returns the number of DMA transfers issued.
 func (b *Bus) DMACount() uint64 { return b.dmas }
 

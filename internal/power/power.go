@@ -178,6 +178,13 @@ func (s *Sensor) Start(until sim.Time) {
 // tolerate the gap.
 func (s *Sensor) DropUntil(t sim.Time) { s.dropUntil = t }
 
+// Reading returns what the instrument would report if polled right now:
+// the source value with the instrument's quantization applied (and
+// nothing else — a dropout only suppresses the periodic trace, an
+// explicit poll still reads the rail). Telemetry gauges use this so
+// exported power series carry instrument fidelity, not model floats.
+func (s *Sensor) Reading() Watts { return s.quantize(s.Source()) }
+
 // MissedSamples returns how many ticks fell inside dropout windows.
 func (s *Sensor) MissedSamples() uint64 { return s.missed }
 

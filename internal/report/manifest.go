@@ -1,0 +1,28 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Manifests renders the telemetry collector's per-run manifests as a
+// text table: one row per instrumented simulation, in the collector's
+// deterministic (label, run ID) order.
+func Manifests(w io.Writer, ms []obs.RunManifest) {
+	t := NewTable("Telemetry — per-run manifests",
+		"run id", "label", "requests", "spans", "open", "series", "samples")
+	for _, m := range ms {
+		t.Add(
+			fmt.Sprintf("%016x", m.RunID),
+			m.Label,
+			fmt.Sprintf("%d", m.Requests),
+			fmt.Sprintf("%d", m.Spans),
+			fmt.Sprintf("%d", m.OpenSpans),
+			fmt.Sprintf("%d", m.Series),
+			fmt.Sprintf("%d", m.Samples),
+		)
+	}
+	t.Render(w)
+}

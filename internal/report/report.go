@@ -212,6 +212,26 @@ func Faults(w io.Writer, baseline core.FaultResult, rows []core.FaultResult) {
 		add(r)
 	}
 	t.Render(w)
+	// Sensor dropouts make the power column untrustworthy for the gapped
+	// window; say so instead of letting the average silently span the gap.
+	missed := func(r core.FaultResult) uint64 { return r.BMCMissedSamples + r.YoctoMissedSamples }
+	all := append([]core.FaultResult{baseline}, rows...)
+	gapped := false
+	for _, r := range all {
+		if missed(r) > 0 {
+			gapped = true
+			break
+		}
+	}
+	if gapped {
+		fmt.Fprintln(w, "  note: power sensors dropped samples during replay; averages span the gaps:")
+		for _, r := range all {
+			if missed(r) > 0 {
+				fmt.Fprintf(w, "    %s: missed %d BMC + %d Yocto-Watt samples\n",
+					r.Scenario, r.BMCMissedSamples, r.YoctoMissedSamples)
+			}
+		}
+	}
 }
 
 // Table5 renders the TCO analysis.

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tco"
@@ -128,5 +129,42 @@ func TestFig5Render(t *testing.T) {
 	Fig5(&sb, []core.Fig5Point{p})
 	if !strings.Contains(sb.String(), "Fig. 5") || !strings.Contains(sb.String(), "40") {
 		t.Fatalf("Fig5 render broken:\n%s", sb.String())
+	}
+}
+
+func TestFaultsRenderSensorDropoutFootnote(t *testing.T) {
+	base := core.FaultResult{Scenario: "baseline", MinDeliveredFrac: 1}
+	clean := core.FaultResult{Scenario: "accel-crash", MinDeliveredFrac: 1}
+	gapped := core.FaultResult{Scenario: "sensor-gap", MinDeliveredFrac: 1,
+		BMCMissedSamples: 2, YoctoMissedSamples: 7}
+
+	var sb strings.Builder
+	Faults(&sb, base, []core.FaultResult{clean, gapped})
+	out := sb.String()
+	if !strings.Contains(out, "sensor-gap: missed 2 BMC + 7 Yocto-Watt samples") {
+		t.Fatalf("dropout footnote missing:\n%s", out)
+	}
+	if strings.Contains(out, "accel-crash: missed") {
+		t.Fatalf("clean scenario must not appear in the footnote:\n%s", out)
+	}
+
+	// No dropouts anywhere: no footnote at all.
+	sb.Reset()
+	Faults(&sb, base, []core.FaultResult{clean})
+	if strings.Contains(sb.String(), "missed") {
+		t.Fatalf("unexpected footnote without dropouts:\n%s", sb.String())
+	}
+}
+
+func TestManifestsRender(t *testing.T) {
+	var sb strings.Builder
+	Manifests(&sb, []obs.RunManifest{
+		{RunID: 0xabc, Label: "run x", Requests: 10, Spans: 40, Series: 3, Samples: 90},
+	})
+	out := sb.String()
+	for _, want := range []string{"Telemetry", "run x", "10", "40", "0000000000000abc"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("manifest table missing %q:\n%s", want, out)
+		}
 	}
 }

@@ -27,9 +27,16 @@ type BatchStation struct {
 	pending []*Job
 	timer   EventID
 	armed   bool
+	// firstAt is when the oldest pending task arrived, for batch-wait
+	// accounting when an observer is installed.
+	firstAt Time
 
 	completed uint64
 	batches   uint64
+
+	// Optional telemetry hook (see Observe).
+	name     string
+	batchObs BatchObserver
 }
 
 // NewBatchStation returns a batching engine with one internal server.
@@ -46,10 +53,24 @@ func NewBatchStation(eng *Engine, maxBatch int, maxWait, perBatch Duration) *Bat
 	}
 }
 
+// Observe installs telemetry observers identified by name: obs watches
+// the internal engine station, batchObs watches batch assembly. Either
+// may be nil. Observers must not mutate model state.
+func (b *BatchStation) Observe(name string, obs StationObserver, batchObs BatchObserver) {
+	b.name = name
+	b.batchObs = batchObs
+	if obs != nil {
+		b.engine.Observe(name, obs)
+	}
+}
+
 // Submit adds a task to the current batch.
 func (b *BatchStation) Submit(j *Job) {
 	if j == nil {
 		panic("sim: Submit(nil)")
+	}
+	if len(b.pending) == 0 {
+		b.firstAt = b.eng.Now()
 	}
 	b.pending = append(b.pending, j)
 	if len(b.pending) >= b.MaxBatch {
@@ -77,6 +98,10 @@ func (b *BatchStation) flush() {
 	batch := b.pending
 	b.pending = nil
 	b.batches++
+	if b.batchObs != nil {
+		now := b.eng.Now()
+		b.batchObs.BatchFlushed(b.name, len(batch), now.Sub(b.firstAt), now)
+	}
 	total := b.PerBatch
 	for _, j := range batch {
 		total += j.Service

@@ -21,6 +21,9 @@ type Engine struct {
 	// before firing. Entries are dropped lazily when popped.
 	cancelled map[uint64]struct{}
 	executed  uint64
+	// tickerPending counts queued Ticker events so a firing ticker can
+	// tell whether anything besides tickers is left (see Ticker).
+	tickerPending int
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -128,9 +131,25 @@ func (e *Engine) Step() bool {
 	return false
 }
 
-// Run executes events until the queue drains.
+// Run executes events until the queue drains — or, when parasitic
+// tickers are armed, until only ticker events remain. Stopping before a
+// lone tick pops matters: popping would advance the clock past the last
+// real event, diluting every elapsed-time statistic (utilization, and
+// through it the power model) purely because telemetry was on.
 func (e *Engine) Run() {
-	for e.Step() {
+	for {
+		if e.tickerPending > 0 && len(e.cancelled) > 0 &&
+			len(e.queue)-len(e.cancelled) <= e.tickerPending {
+			// Cancelled ghosts may be masking the only-tickers condition;
+			// sweep so the count below reflects live events.
+			e.sweepCancelled()
+		}
+		if len(e.queue) <= e.tickerPending {
+			return
+		}
+		if !e.Step() {
+			return
+		}
 	}
 }
 

@@ -28,6 +28,10 @@ type Link struct {
 	framesSent uint64
 	busyTime   Duration
 	lost       uint64
+
+	// Optional telemetry hook (see Observe).
+	name string
+	obs  LinkObserver
 }
 
 // NewLink returns a link with the given rate in bits/s and one-way
@@ -44,6 +48,13 @@ func NewLink(eng *Engine, rateBitsPerSec float64, propagation Duration) *Link {
 
 // RateBits returns the link rate in bits/s.
 func (l *Link) RateBits() float64 { return l.rateBits }
+
+// Observe installs a telemetry observer identified by name. Observers
+// are pure recorders: they must not mutate model state.
+func (l *Link) Observe(name string, obs LinkObserver) {
+	l.name = name
+	l.obs = obs
+}
 
 // SetRateFactor caps the effective rate at factor × nominal for frames
 // sent from now on. Factor must be in (0, 1]; 1 restores full rate.
@@ -88,6 +99,9 @@ func (l *Link) Send(size int, deliver func()) Time {
 	l.bytesSent += uint64(size)
 	l.framesSent++
 	l.busyTime += ser
+	if l.obs != nil {
+		l.obs.FrameSent(l.name, size, start, done, l.down)
+	}
 	if l.down {
 		l.lost++
 		return done

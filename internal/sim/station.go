@@ -8,6 +8,10 @@ type Job struct {
 	// Size optionally carries a byte size for utilization accounting by
 	// callers; the station itself does not interpret it.
 	Size int
+
+	// enqueuedAt records submission time for queue-wait accounting when
+	// an observer is installed.
+	enqueuedAt Time
 }
 
 // Station is a multi-server FIFO queue: the canonical model of a pool of
@@ -39,6 +43,10 @@ type Station struct {
 	busyTime   Duration
 	lastChange Time
 	queuePeak  int
+
+	// Optional telemetry hook (see Observe).
+	name string
+	obs  StationObserver
 }
 
 // NewStation returns a station with the given number of parallel servers.
@@ -78,23 +86,37 @@ func (s *Station) Utilization() float64 {
 // QueuePeak returns the maximum queue length observed.
 func (s *Station) QueuePeak() int { return s.queuePeak }
 
+// Observe installs a telemetry observer identified by name. Observers
+// are pure recorders: they must not mutate model state.
+func (s *Station) Observe(name string, obs StationObserver) {
+	s.name = name
+	s.obs = obs
+}
+
 // Submit enqueues a job. It reports false if the job was dropped because
 // the queue is at capacity.
 func (s *Station) Submit(j *Job) bool {
 	if j == nil {
 		panic("sim: Submit(nil)")
 	}
+	j.enqueuedAt = s.eng.Now()
 	if s.busy < s.servers {
 		s.start(j)
 		return true
 	}
 	if s.Capacity > 0 && len(s.queue) >= s.Capacity {
 		s.dropped++
+		if s.obs != nil {
+			s.obs.JobDropped(s.name, s.eng.Now())
+		}
 		return false
 	}
 	s.queue = append(s.queue, j)
 	if len(s.queue) > s.queuePeak {
 		s.queuePeak = len(s.queue)
+	}
+	if s.obs != nil {
+		s.obs.JobQueued(s.name, s.eng.Now(), len(s.queue))
 	}
 	return true
 }
@@ -111,6 +133,9 @@ func (s *Station) start(j *Job) {
 	s.accrue()
 	s.busy++
 	begin := s.eng.Now()
+	if s.obs != nil {
+		s.obs.JobStarted(s.name, begin, begin.Sub(j.enqueuedAt))
+	}
 	svc := j.Service
 	if hold := s.stallUntil.Sub(begin); hold > 0 {
 		svc += hold
@@ -123,6 +148,9 @@ func (s *Station) start(j *Job) {
 		// client that re-submits from its completion callback must go
 		// to the back of the queue, not steal the freed server.
 		s.dispatch()
+		if s.obs != nil {
+			s.obs.JobFinished(s.name, begin, s.eng.Now())
+		}
 		if j.Done != nil {
 			j.Done(begin, s.eng.Now())
 		}

@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestMeterWindowedRates(t *testing.T) {
+	m := NewMeter(sim.Time(1000))
+	if m.Gbps() != 0 || m.OpsPerSec() != 0 {
+		t.Fatalf("empty window must rate 0, got %v Gbps, %v ops/s", m.Gbps(), m.OpsPerSec())
+	}
+	m.Mark(sim.Time(1000), 125) // 1000 bits at window start
+	if m.Gbps() != 0 {
+		t.Fatalf("zero-length window must rate 0, got %v", m.Gbps())
+	}
+	m.Mark(sim.Time(1000).Add(sim.Microsecond), 125)
+	// 2000 bits over 1 µs = 2 Gb/s, 2 ops over 1 µs = 2e6 ops/s.
+	if got := m.Gbps(); got != 2 {
+		t.Fatalf("Gbps = %v, want 2", got)
+	}
+	if got := m.OpsPerSec(); got != 2e6 {
+		t.Fatalf("OpsPerSec = %v, want 2e6", got)
+	}
+
+	// Close freezes the window: later marks are ignored entirely.
+	m.Close(sim.Time(1000).Add(sim.Microsecond))
+	m.Mark(sim.Time(1000).Add(2*sim.Microsecond), 1<<20)
+	if m.Ops() != 2 || m.Bytes() != 250 {
+		t.Fatalf("post-Close Mark must be ignored: ops=%d bytes=%d", m.Ops(), m.Bytes())
+	}
+	if got := m.Gbps(); got != 2 {
+		t.Fatalf("Gbps after ignored Mark = %v, want 2", got)
+	}
+
+	// Close can also extend the window past the last mark, diluting rates.
+	m2 := NewMeter(0)
+	m2.Mark(sim.Time(sim.Microsecond), 250) // 2000 bits
+	m2.Close(sim.Time(2 * sim.Microsecond))
+	if got := m2.Gbps(); got != 1 {
+		t.Fatalf("Gbps over drain-extended window = %v, want 1", got)
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{-1, 0, 0.5, 0.99, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 || h.Mean() != 0 {
+		t.Fatalf("empty histogram min/max/mean must be 0: %v %v %v", h.Min(), h.Max(), h.Mean())
+	}
+
+	h.Record(42 * sim.Microsecond)
+	for _, q := range []float64{-0.5, 0, 0.25, 0.5, 0.99, 1, 1.5} {
+		if got := h.Quantile(q); got != 42*sim.Microsecond {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 42µs", q, got)
+		}
+	}
+
+	h.Record(10 * sim.Microsecond)
+	h.Record(999 * sim.Microsecond)
+	if got := h.Quantile(0); got != 10*sim.Microsecond {
+		t.Fatalf("Quantile(0) = %v, want exact min", got)
+	}
+	if got := h.Quantile(-3); got != 10*sim.Microsecond {
+		t.Fatalf("Quantile(q<0) = %v, want exact min", got)
+	}
+	if got := h.Quantile(1); got != 999*sim.Microsecond {
+		t.Fatalf("Quantile(1) = %v, want exact max", got)
+	}
+	if got := h.Quantile(7); got != 999*sim.Microsecond {
+		t.Fatalf("Quantile(q>1) = %v, want exact max", got)
+	}
+	// Interior quantiles are clamped into [min, max].
+	for _, q := range []float64{0.01, 0.5, 0.99} {
+		got := h.Quantile(q)
+		if got < 10*sim.Microsecond || got > 999*sim.Microsecond {
+			t.Fatalf("Quantile(%v) = %v outside [min,max]", q, got)
+		}
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	h := NewHistogram()
+	for i := 1; i <= 100; i++ {
+		h.Record(sim.Duration(i) * sim.Microsecond)
+	}
+	want := h.Summarize()
+	raw, err := json.Marshal(want)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got Summary
+	if err := json.Unmarshal(raw, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if got != want {
+		t.Fatalf("round trip changed summary:\n got %+v\nwant %+v", got, want)
+	}
+
+	// The encoded form must expose every field (no unexported surprises).
+	var fields map[string]any
+	if err := json.Unmarshal(raw, &fields); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"Count", "Mean", "P50", "P99", "P999", "Min", "Max"} {
+		if _, ok := fields[k]; !ok {
+			t.Fatalf("summary JSON missing field %s: %s", k, raw)
+		}
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"io"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/report"
 	"repro/internal/sim"
 	"repro/internal/tco"
@@ -128,6 +129,58 @@ func WithParallelism(n int) Option {
 func WithProgress(fn func(done, total int, label string)) Option {
 	return func(t *Testbed) { t.runner.Progress = fn }
 }
+
+// Telemetry collects per-run observability data — request spans, sampled
+// metrics, counters — from every simulation of the testbeds it is
+// attached to, and exports it as a Chrome/Perfetto trace, CSV/JSON
+// metrics, or per-run manifests. One Telemetry may serve several
+// testbeds; exports are deterministic (byte-identical at any
+// parallelism). A nil or absent Telemetry costs nothing: with no
+// collector attached every hook in the engine is a nil check.
+type Telemetry struct {
+	c *obs.Collector
+}
+
+// NewTelemetry returns an empty collector.
+func NewTelemetry() *Telemetry { return &Telemetry{c: obs.NewCollector()} }
+
+// EnableDetail records per-job station spans and per-frame link spans in
+// addition to the per-request spans. Traces grow large; keep it off for
+// full-figure runs.
+func (t *Telemetry) EnableDetail() *Telemetry {
+	t.c.EnableDetail()
+	return t
+}
+
+// WithTelemetry attaches a collector to the testbed: every simulation it
+// runs records into tel.
+func WithTelemetry(tel *Telemetry) Option {
+	return func(t *Testbed) {
+		if tel != nil {
+			t.runner.Telemetry = tel.c
+		}
+	}
+}
+
+// WriteTrace writes all collected runs as Chrome trace-event JSON,
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func (t *Telemetry) WriteTrace(w io.Writer) error { return t.c.WriteTrace(w) }
+
+// WriteMetricsCSV writes every sampled series as long-format CSV.
+func (t *Telemetry) WriteMetricsCSV(w io.Writer) error { return t.c.WriteMetricsCSV(w) }
+
+// WriteMetricsJSON writes every sampled series and counter as JSON.
+func (t *Telemetry) WriteMetricsJSON(w io.Writer) error { return t.c.WriteMetricsJSON(w) }
+
+// WriteManifests writes the per-run manifests as JSON.
+func (t *Telemetry) WriteManifests(w io.Writer) error { return t.c.WriteManifests(w) }
+
+// RenderManifests writes the per-run manifests as a text table.
+func (t *Telemetry) RenderManifests(w io.Writer) { report.Manifests(w, t.c.Manifests()) }
+
+// Totals reports how many runs, request spans and total spans the
+// collector holds.
+func (t *Telemetry) Totals() (runs, requests, spans int) { return t.c.Totals() }
 
 // NewTestbed returns a testbed with the paper's §3.1 configuration —
 // 8 host cores vs the 8-core SNIC, 2 accelerator staging cores,
