@@ -20,10 +20,10 @@ race:
 bench:
 	$(GO) test -bench=. -benchmem .
 
-# Record sequential vs parallel Fig. 4 wall-clock (and verify the two
-# produce identical rows) into BENCH_parallel.json.
+# Record sequential vs parallel wall-clock (and verify the two produce
+# identical results) for Fig. 4 and the S22 fleet simulation.
 bench-compare:
-	$(GO) run ./cmd/benchcompare -out BENCH_parallel.json
+	$(GO) run ./cmd/benchcompare -out BENCH_parallel.json -fleet-out BENCH_fleet.json
 
 # Regenerate the fault-scenario experiment family.
 faults:
@@ -39,4 +39,11 @@ trace-determinism:
 	cmp trace_j1.json trace_jN.json
 	cmp metrics_j1.csv metrics_jN.csv
 	rm -f trace_j1.json trace_jN.json metrics_j1.csv metrics_jN.csv
+	$(GO) run ./cmd/snicbench -exp fleet -q -j 1 \
+		-manifest fleet_manifest_j1.json > fleet_j1.txt
+	$(GO) run ./cmd/snicbench -exp fleet -q -j $$(nproc) \
+		-manifest fleet_manifest_jN.json > fleet_jN.txt
+	cmp fleet_j1.txt fleet_jN.txt
+	cmp fleet_manifest_j1.json fleet_manifest_jN.json
+	rm -f fleet_j1.txt fleet_jN.txt fleet_manifest_j1.json fleet_manifest_jN.json
 	@echo "trace determinism: OK"

@@ -191,6 +191,30 @@ func BenchmarkFig4ParallelSpeedup(b *testing.B) {
 	}
 }
 
+// BenchmarkFleetProvisioningSearch times the S22 provisioning search on
+// the paper's headline app: binary-searching the minimum NIC-only and
+// SNIC-accelerator fleets that serve Compress's target load. A fresh
+// testbed per iteration keeps the runner's memo cache cold.
+func BenchmarkFleetProvisioningSearch(b *testing.B) {
+	var spec snic.ProvisionSpec
+	for _, s := range snic.Table5Specs() {
+		if s.App == "Compress" {
+			spec = s
+		}
+	}
+	var res snic.ProvisionResult
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = snic.NewTestbed().Provision(spec, snic.ProvisionOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(res.Ratio, "nicPerSnic")
+	b.ReportMetric(float64(res.Probes), "probes")
+}
+
 // ---- Ablations ----
 
 // BenchmarkAblationAcceleratorBatching quantifies the batch-size choice:

@@ -1,11 +1,12 @@
-// Command benchcompare times the Fig. 4 pipeline sequentially and in
-// parallel on fresh testbeds, verifies the two produce identical rows,
-// and records the comparison as JSON — the repo's standing record of
-// what the parallel engine buys on a given machine.
+// Command benchcompare times the Fig. 4 pipeline and the S22 fleet
+// simulation sequentially and in parallel on fresh testbeds, verifies
+// each pair produces identical results, and records the comparisons as
+// JSON — the repo's standing record of what the parallel engine buys on
+// a given machine.
 //
 // Usage:
 //
-//	benchcompare [-j N] [-out BENCH_parallel.json]
+//	benchcompare [-j N] [-out BENCH_parallel.json] [-fleet-out BENCH_fleet.json]
 package main
 
 import (
@@ -35,9 +36,30 @@ type comparison struct {
 	SimsParallel   uint64  `json:"sims_parallel"`
 }
 
+// writeComparison validates and records one seq-vs-parallel comparison.
+func writeComparison(c comparison, path string) {
+	if !c.Identical {
+		fmt.Fprintf(os.Stderr, "benchcompare: %s: PARALLEL RESULTS DIVERGE FROM SEQUENTIAL\n", c.Experiment)
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d benchmarks, sequential %.2fs, parallel(-j %d) %.2fs, speedup %.2fx, identical=%v\n",
+		c.Experiment, c.Benchmarks, c.SequentialSec, c.Parallelism, c.ParallelSec, c.Speedup, c.Identical)
+}
+
 func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "parallelism for the parallel leg")
 	out := flag.String("out", "BENCH_parallel.json", "output path")
+	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "fleet comparison output path")
 	flag.Parse()
 
 	// The software-only group is the costliest Fig. 4 slice: enough work
@@ -73,22 +95,46 @@ func main() {
 	if parSec > 0 {
 		c.Speedup = seqSec / parSec
 	}
+	writeComparison(c, *out)
 
-	if !c.Identical {
-		fmt.Fprintln(os.Stderr, "benchcompare: PARALLEL RESULTS DIVERGE FROM SEQUENTIAL")
-		os.Exit(1)
+	// The fleet leg: a mixed fleet on the scaled diurnal trace. The
+	// dispatcher hands every server its own rate series, so the replay
+	// fan-out is the parallel engine's natural workload.
+	classes := []snic.FleetClass{snic.NICHosts(12), snic.SNICCPUs(8), snic.SNICAccels(4)}
+	servers := 0
+	for _, cl := range classes {
+		servers += cl.Count
+	}
+	tr := snic.HyperscalerTrace().Subsample(8).Scale(float64(servers)).Compress(400 * snic.Microsecond)
+	runFleet := func(j int) (snic.FleetResult, float64, uint64) {
+		tb := snic.NewTestbed(snic.WithParallelism(j))
+		start := time.Now()
+		res, err := tb.RunFleet(snic.FleetConfig{
+			Classes: classes, Policy: snic.SLOAware, Trace: tr, Seed: 42,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchcompare: fleet:", err)
+			os.Exit(1)
+		}
+		return res, time.Since(start).Seconds(), tb.Simulations()
 	}
 
-	data, err := json.MarshalIndent(c, "", "  ")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "benchcompare:", err)
-		os.Exit(1)
+	seqFleet, seqFleetSec, seqFleetSims := runFleet(1)
+	parFleet, parFleetSec, parFleetSims := runFleet(*jobs)
+
+	fc := comparison{
+		Experiment:     "fleet/slo-aware",
+		Benchmarks:     servers,
+		CPUs:           runtime.NumCPU(),
+		Parallelism:    *jobs,
+		SequentialSec:  seqFleetSec,
+		ParallelSec:    parFleetSec,
+		Identical:      reflect.DeepEqual(seqFleet, parFleet),
+		SimsSequential: seqFleetSims,
+		SimsParallel:   parFleetSims,
 	}
-	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchcompare:", err)
-		os.Exit(1)
+	if parFleetSec > 0 {
+		fc.Speedup = seqFleetSec / parFleetSec
 	}
-	fmt.Printf("fig4/software: %d benchmarks, sequential %.2fs, parallel(-j %d) %.2fs, speedup %.2fx, identical=%v\n",
-		len(subset), seqSec, *jobs, parSec, c.Speedup, c.Identical)
+	writeComparison(fc, *fleetOut)
 }

@@ -12,6 +12,7 @@
 //	snicbench -exp table5            # 5-year TCO (paper + measured inputs)
 //	snicbench -exp strategies        # §5.3 advisor + load balancer
 //	snicbench -exp faults            # trace replay under injected faults
+//	snicbench -exp fleet             # datacenter fleet + provisioning search
 //	snicbench -exp specs             # Tables 1 & 2 hardware specs
 //	snicbench -exp catalog           # Table 3 benchmark matrix
 //	snicbench -exp functional        # verify the real implementations
@@ -53,7 +54,7 @@ var validExps = []string{
 	"specs", "catalog", "functional",
 	"fig4", "fig5", "fig6", "fig7",
 	"table4", "table5",
-	"strategies", "faults",
+	"strategies", "faults", "fleet",
 	"all",
 }
 
@@ -102,6 +103,7 @@ func main() {
 		"table5":     func() { runTable5(opts) },
 		"strategies": func() { runStrategies(opts) },
 		"faults":     func() { runFaults(opts) },
+		"fleet":      func() { runFleet(opts) },
 		"specs":      runSpecs,
 		"catalog":    runCatalog,
 		"functional": runFunctional,
@@ -109,7 +111,7 @@ func main() {
 	if *exp == "all" {
 		// Same order the command has always used.
 		for _, e := range []string{"specs", "catalog", "functional", "fig4", "fig6",
-			"fig5", "fig7", "table4", "table5", "strategies", "faults"} {
+			"fig5", "fig7", "table4", "table5", "strategies", "faults", "fleet"} {
 			run(e, dispatch[e])
 		}
 	} else if fn, ok := dispatch[*exp]; ok {
@@ -315,6 +317,50 @@ func runFaults(opts []snic.Option) {
 	base := tbed.RunFaulted(snic.FaultScenario{Name: "baseline"}, router(), tr, 2, 42)
 	rows := tbed.RunFaultedSet(scns, router, tr, 2, 42)
 	snic.RenderFaults(os.Stdout, base, rows)
+}
+
+// runFleet simulates a 36-server heterogeneous datacenter on the
+// diurnal trace scaled to fleet-level offered load, compares the four
+// dispatch policies, and then runs the provisioning search that
+// generalizes Table 5.
+func runFleet(opts []snic.Option) {
+	tbed := snic.NewTestbed(opts...)
+	classes := []snic.FleetClass{snic.NICHosts(16), snic.SNICCPUs(12), snic.SNICAccels(8)}
+	servers := 0
+	for _, c := range classes {
+		servers += c.Count
+	}
+	// One day of the diurnal trace, subsampled and time-compressed for
+	// simulation, scaled so the fleet-level mean is servers × the
+	// paper's 0.76 Gb/s per-server regime.
+	tr := snic.HyperscalerTrace().Subsample(4).Scale(float64(servers)).Compress(400 * snic.Microsecond)
+
+	fmt.Printf("== Fleet: %d servers (16 NIC hosts, 12 SNIC-CPU, 8 SNIC-accel) ==\n", servers)
+	var rows []snic.FleetResult
+	for _, pol := range snic.FleetPolicies() {
+		res, err := tbed.RunFleet(snic.FleetConfig{
+			Classes: classes,
+			Policy:  pol,
+			Trace:   tr,
+			Seed:    42,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snicbench: fleet %s: %v\n", pol, err)
+			os.Exit(1)
+		}
+		rows = append(rows, res)
+	}
+	snic.RenderFleet(os.Stdout, rows)
+	fmt.Println()
+	snic.RenderFleetServers(os.Stdout, rows[2]) // the SLO-aware run
+
+	fmt.Println("\n== Provisioning search (generalized Table 5) ==")
+	prov, err := tbed.ProvisionTable5(snic.ProvisionOpts{})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "snicbench: provision: %v\n", err)
+		os.Exit(1)
+	}
+	snic.RenderProvision(os.Stdout, prov)
 }
 
 func runFunctional() {

@@ -3,9 +3,9 @@
 //
 // Usage:
 //
-//	tcocalc                                  # reproduce Table 5
+//	tcocalc                                    # reproduce Table 5
 //	tcocalc -app mine -snic-tput 2 -snic-w 255 -nic-tput 1 -nic-w 320
-//	tcocalc -app mine ... -kwh 0.25 -years 3 # your electricity and horizon
+//	tcocalc -app mine ... -price 0.25 -years 3 # your electricity and horizon
 package main
 
 import (
@@ -23,22 +23,59 @@ func main() {
 	snicW := flag.Float64("snic-w", 255, "per-server power of the SNIC fleet (W)")
 	nicTput := flag.Float64("nic-tput", 1, "per-server throughput of the NIC fleet (same unit)")
 	nicW := flag.Float64("nic-w", 300, "per-server power of the NIC fleet (W)")
-	kwh := flag.Float64("kwh", 0.162, "electricity price ($/kWh)")
+	price := flag.Float64("price", 0.162, "electricity price ($/kWh)")
+	kwh := flag.Float64("kwh", 0.162, "deprecated alias for -price")
 	years := flag.Float64("years", 5, "server lifetime (years)")
 	servers := flag.Int("servers", 10, "baseline SNIC fleet size")
 	flag.Parse()
+
+	// Honour the deprecated -kwh spelling unless -price was given too.
+	usd := *price
+	priceSet, kwhSet := false, false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "price":
+			priceSet = true
+		case "kwh":
+			kwhSet = true
+		}
+	})
+	if kwhSet && !priceSet {
+		usd = *kwh
+	}
+
+	model, err := buildModel(usd, *years, *servers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tcocalc: %v\n", err)
+		os.Exit(2)
+	}
 
 	if *app == "" {
 		snic.RenderTable5(os.Stdout, snic.PaperTable5())
 		return
 	}
-	model := tco.PaperCostModel()
-	model.PowerUSDPerKWh = *kwh
-	model.Years = *years
-	model.BaselineServers = *servers
 	row := model.Analyze(*app,
 		tco.AppMeasurement{ThroughputGbps: *snicTput, PowerW: *snicW},
 		tco.AppMeasurement{ThroughputGbps: *nicTput, PowerW: *nicW})
 	snic.RenderTable5(os.Stdout, []tco.Row{row})
 	fmt.Printf("\n%v\n", row)
+}
+
+// buildModel applies the command-line knobs to the paper's cost model,
+// rejecting non-physical values.
+func buildModel(priceUSDPerKWh, years float64, servers int) (tco.CostModel, error) {
+	if priceUSDPerKWh <= 0 {
+		return tco.CostModel{}, fmt.Errorf("electricity price must be > 0 $/kWh, got %v", priceUSDPerKWh)
+	}
+	if years <= 0 {
+		return tco.CostModel{}, fmt.Errorf("lifetime must be > 0 years, got %v", years)
+	}
+	if servers <= 0 {
+		return tco.CostModel{}, fmt.Errorf("baseline fleet must have > 0 servers, got %d", servers)
+	}
+	m := tco.PaperCostModel()
+	m.PowerUSDPerKWh = priceUSDPerKWh
+	m.Years = years
+	m.BaselineServers = servers
+	return m, nil
 }

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/tco"
+)
+
+func TestBuildModelDefaultsMatchPaper(t *testing.T) {
+	m, err := buildModel(0.162, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := tco.PaperCostModel()
+	if m != want {
+		t.Fatalf("defaults should reproduce the paper's cost model:\n got %+v\nwant %+v", m, want)
+	}
+}
+
+func TestBuildModelPlumbsFlags(t *testing.T) {
+	m, err := buildModel(0.25, 3, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.PowerUSDPerKWh != 0.25 || m.Years != 3 || m.BaselineServers != 8 {
+		t.Fatalf("flags not plumbed through: %+v", m)
+	}
+	// Everything else still comes from the paper.
+	paper := tco.PaperCostModel()
+	if m.ServerWithSNICUSD != paper.ServerWithSNICUSD || m.ServerWithNICUSD != paper.ServerWithNICUSD {
+		t.Fatalf("server prices should stay at the paper's values: %+v", m)
+	}
+}
+
+func TestBuildModelRejectsNonPhysical(t *testing.T) {
+	cases := []struct {
+		price, years float64
+		servers      int
+	}{
+		{0, 5, 10},
+		{-0.1, 5, 10},
+		{0.162, 0, 10},
+		{0.162, -2, 10},
+		{0.162, 5, 0},
+		{0.162, 5, -1},
+	}
+	for _, c := range cases {
+		if _, err := buildModel(c.price, c.years, c.servers); err == nil {
+			t.Fatalf("buildModel(%v, %v, %d) should have been rejected", c.price, c.years, c.servers)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/sim"
 	"repro/internal/trace"
 )
 
@@ -28,6 +29,7 @@ type measureCache struct {
 	mu           sync.Mutex
 	runs         map[string]Measurement
 	replays      map[string]TraceReplayResult
+	servers      map[string]ServerReplay
 	hits, misses uint64
 }
 
@@ -63,6 +65,23 @@ func (c *measureCache) storeReplay(key string, t TraceReplayResult) {
 		c.replays = make(map[string]TraceReplayResult)
 	}
 	c.replays[key] = t
+}
+
+func (c *measureCache) lookupServer(key string) (ServerReplay, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s, ok := c.servers[key]
+	c.note(ok)
+	return s, ok
+}
+
+func (c *measureCache) storeServer(key string, s ServerReplay) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.servers == nil {
+		c.servers = make(map[string]ServerReplay)
+	}
+	c.servers[key] = s
 }
 
 // note tallies hit/miss under the already-held lock.
@@ -117,6 +136,20 @@ func replayKey(cfg *Config, plat Platform, tbc TestbedConfig, tr *trace.Hypersca
 	return fmt.Sprintf("replay|%s|@%s|tb:%+v|tr:%s|seed:%d",
 		cfg.cacheKey(), plat, tbc, traceFingerprint(tr), seed)
 }
+
+// serverKey is the memo key of one fleet server replay. The group string
+// (the fleet run ID) is part of the key so that telemetry labels — which
+// must be pure functions of the memo key for -j determinism — can carry
+// the fleet identity without breaking cross-fleet reuse semantics.
+func serverKey(cfg *Config, plat Platform, tbc TestbedConfig, rates []float64, interval int64, seed uint64, group string) string {
+	tr := &trace.HyperscalerTrace{Interval: sim.Duration(interval), RatesGbps: rates}
+	return fmt.Sprintf("server|%s|@%s|tb:%+v|tr:%s|seed:%d|grp:%s",
+		cfg.cacheKey(), plat, tbc, traceFingerprint(tr), seed, group)
+}
+
+// TraceFingerprint exposes the trace hash for callers (package fleet)
+// that need a stable identifier of an offered-load series.
+func TraceFingerprint(tr *trace.HyperscalerTrace) string { return traceFingerprint(tr) }
 
 // traceFingerprint hashes a rate trace (interval + every rate sample)
 // into a short stable identifier.

@@ -87,14 +87,22 @@ var Fig5Curves = []string{"host/file_image", "host/file_executable", "accel"}
 // remMTU returns the Fig. 5 variant of a REM config: fixed MTU packets
 // (no PCAP mix, so no mixed-traffic match-verification extra).
 func remMTU(set trace.RuleSetName) *Config {
-	cfg, err := Lookup("rem", string(set))
+	return TraceWorkload("rem", string(set))
+}
+
+// TraceWorkload returns a catalog config adapted for trace replay: fixed
+// MTU packets in place of the PCAP mix (trace rates are data rates, not
+// op rates, so replays need a deterministic wire size). This is the
+// workload shape Table 4 replays and package fleet's servers run.
+func TraceWorkload(function, variant string) *Config {
+	cfg, err := Lookup(function, variant)
 	if err != nil {
 		panic(err)
 	}
 	c := *cfg
 	c.Mixed = false
 	c.ReqSize = nicMTU
-	c.Variant = string(set) + "-mtu"
+	c.Variant = variant + "-mtu"
 	return &c
 }
 

@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/netstack"
+	"repro/internal/nic"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// This file is the fleet-facing server replay: one datacenter server
+// driven by the per-interval rate share a fleet dispatcher assigned to
+// it. It mirrors replayTrace — same testbed wiring, same open-loop
+// interval scheduler — but measures the whole trace (no warmup discard)
+// and returns the raw latency histogram so package fleet can merge
+// distributions and compute SLO attainment post-hoc at any target.
+//
+// The SLO target is deliberately NOT part of the memo key: attainment is
+// a query against the histogram, so one cached replay answers every SLO.
+
+// ServerReplay is the measured behaviour of one fleet server over its
+// assigned rate series.
+type ServerReplay struct {
+	Platform    Platform
+	OfferedGbps float64 // mean of the assigned rate series
+	AvgTputGbps float64
+	AvgPowerW   float64
+	Util        float64 // pool utilization of the serving pool
+	Dropped     uint64
+	Sent        uint64
+	Completed   uint64
+	Latency     stats.Summary
+	// Hist is the full latency distribution. It is owned by the memo
+	// cache and shared between identical servers: treat it as read-only
+	// and Merge it into a fresh histogram for fleet-level quantiles.
+	Hist *stats.Histogram
+	// RunID is this replay's telemetry run identity, derived from the
+	// memo key (stable whether or not telemetry is attached).
+	RunID uint64
+}
+
+// DeliveredFrac is achieved over offered data rate (1 when idle).
+func (s ServerReplay) DeliveredFrac() float64 {
+	if s.OfferedGbps <= 0 {
+		return 1
+	}
+	return s.AvgTputGbps / s.OfferedGbps
+}
+
+// ReplayServer simulates one fleet server fed the given per-interval
+// rates (Gb/s, one entry per trace interval of the given length). Runs
+// memoize like ReplayTrace does; identical servers — same config,
+// platform, rate row, seed and fleet group — share one simulation, which
+// is what makes a homogeneous 1000-server fleet under an even-split
+// policy cost one simulation instead of a thousand.
+func (r *Runner) ReplayServer(cfg *Config, plat Platform, rates []float64, interval sim.Duration, seed uint64, group string) ServerReplay {
+	key := serverKey(cfg, plat, r.TBConfig, rates, int64(interval), seed, group)
+	if res, ok := r.cache.lookupServer(key); ok {
+		return res
+	}
+	res := r.replayServer(cfg, plat, rates, interval, seed, key)
+	r.cache.storeServer(key, res)
+	return res
+}
+
+// replayServer executes one fleet-server replay on a fresh testbed.
+func (r *Runner) replayServer(cfg *Config, plat Platform, rates []float64, interval sim.Duration, seed uint64, key string) ServerReplay {
+	r.sims.Add(1)
+	tr := &trace.HyperscalerTrace{Interval: interval, RatesGbps: rates}
+	label := fmt.Sprintf("fleet server %s @ %s | tr %s | seed %d",
+		cfg.Name(), plat, traceFingerprint(tr), seed)
+	seed = r.runSeed(seed)
+	tbc := r.TBConfig
+	tbc.Seed ^= seed
+	if cfg.HostCores > 0 {
+		tbc.HostCores = cfg.HostCores
+	}
+	if cfg.SNICCores > 0 {
+		tbc.SNICCores = cfg.SNICCores
+	}
+	tb := NewTestbed(tbc)
+	ctx := &runctx{
+		tb: tb, cfg: cfg, plat: plat,
+		opts:     RunOpts{Requests: 1 << 62, Seed: seed}, // the rate series decides the end
+		prof:     netstack.ByKind(cfg.Stack),
+		arrivals: trace.NewPoissonArrivals(seed ^ 0xabcdef),
+		jit:      sim.NewRNG(seed ^ 0x1234),
+		hist:     stats.NewHistogram(),
+		// Every completion counts: fleet attainment must see the whole
+		// trace, so the meter opens at t=0 and warmup never triggers.
+		meter:   stats.NewMeter(0),
+		warmupN: -1,
+	}
+	ctx.sizes = trace.Fixed(cfg.ReqSize)
+	ctx.pool = tb.PoolFor(plat)
+	ctx.pool.JitterSigma = 0
+	ctx.pool.SetQueueCapacity(4096)
+	ctx.ep = netstack.NewEndpoint(tb.Eng, ctx.prof, ctx.pool, seed^0x77)
+
+	ctx.rec = r.newRecorder(key, label)
+	instrumentTestbed(tb, ctx.rec)
+
+	switch plat {
+	case HostCPU:
+		tb.ActivateSNICPools(0, 0)
+		tb.SetPolling(HostCPU, true)
+		tb.SetHostTrafficShare(1)
+	case SNICCPU:
+		tb.ActivateSNICPools(1, 0)
+		tb.SetPolling(SNICCPU, true)
+		tb.SetHostTrafficShare(0)
+	case SNICAccel:
+		tb.ActivateSNICPools(0, 1)
+		tb.SetPolling(SNICCPU, true)
+		tb.SetHostTrafficShare(0)
+	}
+
+	dest := nic.ToHostCPU
+	switch plat {
+	case SNICCPU:
+		dest = nic.ToSNICCPU
+	case SNICAccel:
+		dest = nic.ToAccelerator
+	}
+	tb.Sw.Program(func(*nic.Packet) nic.Destination { return dest })
+	tb.Sw.Connect(nic.ToHostCPU, ctx.cpuSink)
+	tb.Sw.Connect(nic.ToSNICCPU, ctx.cpuSink)
+	tb.Sw.Connect(nic.ToAccelerator, ctx.accelSink)
+
+	eng := tb.Eng
+	var runInterval func(i int)
+	runInterval = func(i int) {
+		if i >= len(rates) {
+			ctx.lastSend = eng.Now()
+			return
+		}
+		rate := rates[i]
+		end := eng.Now().Add(interval)
+		var submit func()
+		submit = func() {
+			if eng.Now() >= end {
+				runInterval(i + 1)
+				return
+			}
+			if rate > 0 {
+				ctx.sent++
+				size := ctx.sizes.Next(ctx.jit)
+				pkt := &nic.Packet{Seq: uint64(ctx.sent), Size: size, SentAt: eng.Now(),
+					Span: uint32(ctx.openRequest())}
+				tb.Wire.SendToServer(pkt, tb.Sw.Ingress)
+				eng.After(ctx.arrivals.Gap(size, rate*1e9), submit)
+			} else {
+				eng.At(end, submit)
+			}
+		}
+		submit()
+	}
+	eng.At(0, func() { runInterval(0) })
+	eng.Run()
+	ctx.finishEngineUtil()
+	r.finishRecorder(ctx)
+
+	var offered float64
+	for _, v := range rates {
+		offered += v
+	}
+	if len(rates) > 0 {
+		offered /= float64(len(rates))
+	}
+	res := ServerReplay{
+		Platform:    plat,
+		OfferedGbps: offered,
+		Dropped:     ctx.pool.Dropped(),
+		Sent:        uint64(ctx.sent),
+		Completed:   uint64(ctx.done),
+		Latency:     ctx.hist.Summarize(),
+		Hist:        ctx.hist,
+		RunID:       obs.DeriveRunID(key),
+	}
+	ctx.meter.Close(ctx.lastSend)
+	res.AvgTputGbps = ctx.meter.Gbps()
+	switch plat {
+	case SNICAccel:
+		res.Util = tb.StagingPool.Utilization()
+	case SNICCPU:
+		res.Util = tb.SNICPool.Utilization()
+	default:
+		res.Util = tb.HostPool.Utilization()
+	}
+	res.AvgPowerW = float64(tb.Power.Server.Power())
+	return res
+}

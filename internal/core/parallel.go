@@ -62,6 +62,20 @@ func (r *Runner) forEachN(n int, fn func(int)) {
 	forEach(r.parallelism(), n, fn)
 }
 
+// ForEach is the exported fan-out for sibling packages (package fleet
+// runs one worker per simulated server). Results must land in
+// caller-owned slots indexed by i, exactly as the internal experiments
+// do, so merged output stays byte-identical at any parallelism.
+func (r *Runner) ForEach(n int, fn func(int)) { r.forEachN(n, fn) }
+
+// StepProgress returns a step function for an experiment of total rows,
+// for callers outside this package that want the same serialized
+// progress reporting the built-in experiments get.
+func (r *Runner) StepProgress(total int) func(label string) {
+	p := r.newProgress(total)
+	return p.step
+}
+
 // parallelism normalizes the Parallelism knob: 0 (zero value) and 1 both
 // mean sequential.
 func (r *Runner) parallelism() int {

@@ -1,0 +1,255 @@
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// The dispatcher works at trace-interval granularity: each interval's
+// fleet-level offered rate (Gb/s) is split into per-server rate shares,
+// producing a rate matrix that the per-server replays then simulate
+// independently. Splitting rates rather than individual packets is what
+// keeps the fleet embarrassingly parallel — and it is faithful to how
+// datacenter load balancers actually steer load: by adjusting weights at
+// coarse timescales, not by choosing a server per packet with global
+// knowledge.
+//
+// All policy arithmetic is plain float math over slices in server-index
+// order — no map iteration, no RNG — so the same inputs produce the same
+// assignment on every run at any parallelism.
+
+// Policy names a dispatcher placement policy.
+type Policy string
+
+const (
+	// RoundRobin spreads load evenly and is deliberately health- and
+	// capacity-blind: a crashed server keeps receiving (and losing) its
+	// share, and a weak server gets as much as a strong one.
+	RoundRobin Policy = "round-robin"
+	// LeastOutstanding weights servers by estimated free capacity
+	// (capacity minus dispatcher-tracked backlog), the classic
+	// least-outstanding-requests balancer at rate granularity.
+	LeastOutstanding Policy = "least-outstanding"
+	// SLOAware routes around unhealthy servers (draining their parked
+	// backlog to healthy peers, as the failover router does for a
+	// single server's queue) and water-fills healthy servers up to a
+	// headroom target below capacity so tails stay short.
+	SLOAware Policy = "slo-aware"
+	// AdvisorDriven greedily fills the most energy-efficient servers
+	// first (advisor efficiency score: predicted throughput per total
+	// watt), spilling the remainder capacity-proportionally.
+	AdvisorDriven Policy = "advisor"
+)
+
+// Policies lists every dispatch policy in presentation order.
+func Policies() []Policy {
+	return []Policy{RoundRobin, LeastOutstanding, SLOAware, AdvisorDriven}
+}
+
+// Assignment is a dispatcher's complete decision: one rate row per
+// server plus the bookkeeping the tests assert on.
+type Assignment struct {
+	// Rates[s][i] is the Gb/s assigned to server s in interval i.
+	Rates [][]float64
+	// Lost[i] is the Gb/s the dispatcher dropped in interval i (traffic
+	// sent to a dead server by a health-blind policy, or offered load
+	// with no healthy server to take it).
+	Lost []float64
+	// Carry[s][i] is server s's modeled backlog (in Gb/s·interval
+	// units) after interval i: assigned work beyond estimated capacity
+	// that queues into the next interval.
+	Carry [][]float64
+}
+
+// LostGbps is the mean dispatch-level loss rate over the trace.
+func (a *Assignment) LostGbps() float64 {
+	if len(a.Lost) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range a.Lost {
+		sum += v
+	}
+	return sum / float64(len(a.Lost))
+}
+
+// Dispatch computes the per-server rate matrix for cfg's trace, given
+// per-server capacity estimates and advisor efficiency scores (scores
+// are only read by AdvisorDriven and may be nil otherwise).
+func Dispatch(cfg *Config, caps, scores []float64) (*Assignment, error) {
+	n := cfg.Servers()
+	if n == 0 {
+		return nil, fmt.Errorf("fleet: no servers")
+	}
+	if len(caps) != n {
+		return nil, fmt.Errorf("fleet: %d capacity estimates for %d servers", len(caps), n)
+	}
+	if cfg.Policy == AdvisorDriven && len(scores) != n {
+		return nil, fmt.Errorf("fleet: advisor policy needs %d scores, got %d", n, len(scores))
+	}
+	intervals := len(cfg.Trace.RatesGbps)
+	a := &Assignment{
+		Rates: make([][]float64, n),
+		Lost:  make([]float64, intervals),
+		Carry: make([][]float64, n),
+	}
+	for s := 0; s < n; s++ {
+		a.Rates[s] = make([]float64, intervals)
+		a.Carry[s] = make([]float64, intervals)
+	}
+	margin := cfg.sloMargin()
+	carry := make([]float64, n)
+	down := make([]bool, n)
+	for i := 0; i < intervals; i++ {
+		rate := cfg.Trace.RatesGbps[i]
+		for s := 0; s < n; s++ {
+			down[s] = cfg.ServerDown(s, i)
+		}
+		switch cfg.Policy {
+		case RoundRobin:
+			dispatchRoundRobin(a, i, rate, carry, down)
+		case LeastOutstanding:
+			dispatchLeastOutstanding(a, i, rate, caps, carry, down)
+		case SLOAware:
+			dispatchSLOAware(a, i, rate, caps, margin, carry, down)
+		case AdvisorDriven:
+			dispatchAdvisor(a, i, rate, caps, scores, margin, carry, down)
+		default:
+			return nil, fmt.Errorf("fleet: unknown policy %q", cfg.Policy)
+		}
+		// Backlog bookkeeping: healthy servers work off (or grow) their
+		// queue against estimated capacity; a down server's carry was
+		// already resolved by the policy (lost or drained) or parks.
+		for s := 0; s < n; s++ {
+			if !down[s] {
+				carry[s] = math.Max(0, carry[s]+a.Rates[s][i]-caps[s])
+			}
+			a.Carry[s][i] = carry[s]
+		}
+	}
+	return a, nil
+}
+
+// dispatchRoundRobin sends an equal share to every server, dead or
+// alive. A dead server's share — and whatever backlog it had parked —
+// is lost.
+func dispatchRoundRobin(a *Assignment, i int, rate float64, carry []float64, down []bool) {
+	share := rate / float64(len(down))
+	for s := range down {
+		if down[s] {
+			a.Lost[i] += share + carry[s]
+			carry[s] = 0
+			continue
+		}
+		a.Rates[s][i] = share
+	}
+}
+
+// dispatchLeastOutstanding splits proportionally to estimated free
+// capacity. A down server receives nothing and its backlog parks until
+// it returns (this policy tracks queues but not liveness transfers).
+func dispatchLeastOutstanding(a *Assignment, i int, rate float64, caps, carry []float64, down []bool) {
+	var sumW float64
+	w := make([]float64, len(caps))
+	for s := range caps {
+		if down[s] {
+			continue
+		}
+		// A fully backlogged server still gets a trickle (5% of
+		// capacity) so its weight never pins to zero.
+		w[s] = math.Max(caps[s]-carry[s], 0.05*caps[s])
+		sumW += w[s]
+	}
+	if sumW == 0 {
+		a.Lost[i] += rate
+		return
+	}
+	for s := range caps {
+		if !down[s] {
+			a.Rates[s][i] = rate * w[s] / sumW
+		}
+	}
+}
+
+// drainDown moves dead servers' parked backlog into the interval's
+// dispatch pool — the fleet-level analogue of the failover router
+// re-routing a crashed server's queue to healthy peers.
+func drainDown(rate float64, carry []float64, down []bool) float64 {
+	pool := rate
+	for s := range down {
+		if down[s] {
+			pool += carry[s]
+			carry[s] = 0
+		}
+	}
+	return pool
+}
+
+// dispatchSLOAware water-fills healthy servers up to margin×capacity so
+// every server keeps tail headroom; only the overflow beyond everyone's
+// headroom target spills capacity-proportionally.
+func dispatchSLOAware(a *Assignment, i int, rate float64, caps []float64, margin float64, carry []float64, down []bool) {
+	pool := drainDown(rate, carry, down)
+	var sumT, sumCap float64
+	for s := range caps {
+		if !down[s] {
+			sumT += margin * caps[s]
+			sumCap += caps[s]
+		}
+	}
+	if sumCap == 0 {
+		a.Lost[i] += pool
+		return
+	}
+	for s := range caps {
+		if down[s] {
+			continue
+		}
+		t := margin * caps[s]
+		if pool <= sumT {
+			a.Rates[s][i] = pool * t / sumT
+		} else {
+			a.Rates[s][i] = t + (pool-sumT)*caps[s]/sumCap
+		}
+	}
+}
+
+// dispatchAdvisor fills servers in descending efficiency-score order up
+// to margin×capacity, then spreads any remainder capacity-
+// proportionally across healthy servers. Ties break on server index.
+func dispatchAdvisor(a *Assignment, i int, rate float64, caps, scores []float64, margin float64, carry []float64, down []bool) {
+	pool := drainDown(rate, carry, down)
+	order := make([]int, 0, len(caps))
+	var sumCap float64
+	for s := range caps {
+		if !down[s] {
+			order = append(order, s)
+			sumCap += caps[s]
+		}
+	}
+	if sumCap == 0 {
+		a.Lost[i] += pool
+		return
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		if scores[order[x]] != scores[order[y]] {
+			return scores[order[x]] > scores[order[y]]
+		}
+		return order[x] < order[y]
+	})
+	rem := pool
+	for _, s := range order {
+		take := math.Min(rem, margin*caps[s])
+		a.Rates[s][i] = take
+		rem -= take
+		if rem <= 0 {
+			break
+		}
+	}
+	if rem > 0 {
+		for _, s := range order {
+			a.Rates[s][i] += rem * caps[s] / sumCap
+		}
+	}
+}

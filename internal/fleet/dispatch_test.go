@@ -1,0 +1,197 @@
+package fleet
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func flatTrace(rate float64, points int) *trace.HyperscalerTrace {
+	tr := &trace.HyperscalerTrace{Interval: 300 * sim.Microsecond}
+	for i := 0; i < points; i++ {
+		tr.RatesGbps = append(tr.RatesGbps, rate)
+	}
+	return tr
+}
+
+func testConfig(policy Policy, tr *trace.HyperscalerTrace, outages ...Outage) *Config {
+	return &Config{
+		Classes: []Class{{Name: "a", Platform: "host-cpu", Count: 2}, {Name: "b", Platform: "snic-cpu", Count: 1}},
+		Policy:  policy,
+		Trace:   tr,
+		Outages: outages,
+	}
+}
+
+func sumAssigned(a *Assignment, i int) float64 {
+	var s float64
+	for srv := range a.Rates {
+		s += a.Rates[srv][i]
+	}
+	return s
+}
+
+func TestDispatchRoundRobinEvenSplit(t *testing.T) {
+	cfg := testConfig(RoundRobin, flatTrace(9, 4))
+	a, err := Dispatch(cfg, []float64{10, 10, 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for s := 0; s < 3; s++ {
+			if a.Rates[s][i] != 3 {
+				t.Fatalf("server %d interval %d: got %v, want 3", s, i, a.Rates[s][i])
+			}
+		}
+		if a.Lost[i] != 0 {
+			t.Fatalf("no outage but lost %v", a.Lost[i])
+		}
+	}
+}
+
+func TestDispatchRoundRobinLosesDeadServersShare(t *testing.T) {
+	cfg := testConfig(RoundRobin, flatTrace(9, 4), Outage{Server: 2, FromInterval: 1, ToInterval: 3})
+	a, err := Dispatch(cfg, []float64{10, 10, 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Lost[0] != 0 || a.Lost[3] != 0 {
+		t.Fatalf("lost traffic outside the outage: %v", a.Lost)
+	}
+	// Round-robin keeps sending the dead server its share and loses it.
+	if a.Lost[1] != 3 || a.Lost[2] != 3 {
+		t.Fatalf("expected 3 Gb/s lost per outage interval, got %v", a.Lost)
+	}
+	if a.Rates[2][1] != 0 || a.Rates[2][2] != 0 {
+		t.Fatalf("dead server still assigned traffic")
+	}
+}
+
+func TestDispatchSLOAwareDrainsCrashedQueueToPeers(t *testing.T) {
+	// Overload server 2 (cap 5) before the crash so it parks a backlog,
+	// then crash it: the SLO-aware dispatcher must move that backlog to
+	// the healthy peers — nothing lost, conservation holds.
+	// 100 Gb/s exceeds the fleet's 85 Gb/s estimated capacity, so the
+	// weak server (cap 5) accumulates backlog under capacity-
+	// proportional overflow.
+	tr := flatTrace(100, 4)
+	cfg := testConfig(SLOAware, tr, Outage{Server: 2, FromInterval: 2, ToInterval: 4})
+	caps := []float64{40, 40, 5}
+	a, err := Dispatch(cfg, caps, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carryBefore := a.Carry[2][1]
+	if carryBefore <= 0 {
+		t.Fatalf("server 2 should have parked a backlog before the crash (carry=%v)", carryBefore)
+	}
+	// Crash interval: the parked backlog joins the dispatch pool.
+	want := 100 + carryBefore
+	if got := sumAssigned(a, 2); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("interval 2 assigned %v, want rate+drained=%v", got, want)
+	}
+	if a.Rates[2][2] != 0 || a.Rates[2][3] != 0 {
+		t.Fatalf("dead server still assigned traffic")
+	}
+	for i := range a.Lost {
+		if a.Lost[i] != 0 {
+			t.Fatalf("SLO-aware dispatch lost traffic: %v", a.Lost)
+		}
+	}
+	if a.Carry[2][2] != 0 {
+		t.Fatalf("crashed server's carry not drained: %v", a.Carry[2][2])
+	}
+}
+
+func TestDispatchLeastOutstandingParksCarry(t *testing.T) {
+	tr := flatTrace(100, 4)
+	cfg := testConfig(LeastOutstanding, tr, Outage{Server: 2, FromInterval: 2, ToInterval: 3})
+	a, err := Dispatch(cfg, []float64{40, 40, 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	carryBefore := a.Carry[2][1]
+	if carryBefore <= 0 {
+		t.Fatalf("server 2 should have parked a backlog (carry=%v)", carryBefore)
+	}
+	// Least-outstanding parks the queue: not lost, not redistributed.
+	if a.Carry[2][2] != carryBefore {
+		t.Fatalf("carry should park across the outage: %v -> %v", carryBefore, a.Carry[2][2])
+	}
+	for i := range a.Lost {
+		if a.Lost[i] != 0 {
+			t.Fatalf("least-outstanding lost traffic: %v", a.Lost)
+		}
+	}
+	// After the server returns, its share is weighted by free capacity
+	// (capacity minus the parked backlog), exactly as for its peers.
+	caps := []float64{40, 40, 5}
+	var sumW float64
+	w := make([]float64, 3)
+	for s := range w {
+		w[s] = math.Max(caps[s]-a.Carry[s][2], 0.05*caps[s])
+		sumW += w[s]
+	}
+	if want := 100 * w[2] / sumW; math.Abs(a.Rates[2][3]-want) > 1e-9 {
+		t.Fatalf("returning server share %v, want free-capacity weighted %v", a.Rates[2][3], want)
+	}
+}
+
+func TestDispatchConservation(t *testing.T) {
+	tr := flatTrace(30, 6)
+	caps := []float64{40, 40, 5}
+	scores := []float64{0.2, 0.2, 0.1}
+	for _, pol := range Policies() {
+		cfg := testConfig(pol, tr)
+		a, err := Dispatch(cfg, caps, scores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 6; i++ {
+			total := sumAssigned(a, i) + a.Lost[i]
+			if math.Abs(total-30) > 1e-9 {
+				t.Fatalf("%s interval %d: assigned+lost = %v, want 30", pol, i, total)
+			}
+		}
+	}
+}
+
+func TestDispatchAdvisorFillsEfficientFirst(t *testing.T) {
+	tr := flatTrace(10, 1)
+	cfg := testConfig(AdvisorDriven, tr)
+	caps := []float64{40, 40, 40}
+	// Server 1 is most efficient: it must fill to margin×cap before the
+	// others see anything beyond spill.
+	scores := []float64{0.1, 0.9, 0.2}
+	a, err := Dispatch(cfg, caps, scores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Rates[1][0] != 10 {
+		t.Fatalf("most efficient server should take the whole 10 Gb/s, got %v", a.Rates[1][0])
+	}
+	if a.Rates[0][0] != 0 || a.Rates[2][0] != 0 {
+		t.Fatalf("less efficient servers should idle: %v %v", a.Rates[0][0], a.Rates[2][0])
+	}
+}
+
+func TestDispatchAllDownLosesEverything(t *testing.T) {
+	tr := flatTrace(10, 2)
+	for _, pol := range Policies() {
+		cfg := &Config{
+			Classes: []Class{{Name: "a", Platform: "host-cpu", Count: 1}},
+			Policy:  pol,
+			Trace:   tr,
+			Outages: []Outage{{Server: 0, FromInterval: 0, ToInterval: 2}},
+		}
+		a, err := Dispatch(cfg, []float64{40}, []float64{1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Lost[0] != 10 || a.Lost[1] != 10 {
+			t.Fatalf("%s: all servers down should lose the full rate, got %v", pol, a.Lost)
+		}
+	}
+}

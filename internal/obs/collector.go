@@ -180,3 +180,23 @@ func (c *Collector) Manifests() []RunManifest {
 	}
 	return out
 }
+
+// ManifestsFor returns the manifests of the named runs only, preserving
+// the collector's export order (so a fleet run can list exactly its own
+// servers' telemetry, byte-identically at any parallelism).
+func (c *Collector) ManifestsFor(ids []uint64) []RunManifest {
+	if c == nil || len(ids) == 0 {
+		return nil
+	}
+	want := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	var out []RunManifest
+	for _, r := range c.Runs() {
+		if want[r.RunID()] {
+			out = append(out, r.Manifest())
+		}
+	}
+	return out
+}

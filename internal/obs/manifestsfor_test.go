@@ -1,0 +1,28 @@
+package obs
+
+import "testing"
+
+func TestManifestsForSubsetInExportOrder(t *testing.T) {
+	c := NewCollector()
+	ids := make([]uint64, 4)
+	for i, label := range []string{"b", "a", "d", "c"} {
+		id := DeriveRunID(label)
+		ids[i] = id
+		c.Attach(c.NewRecorder(id, label))
+	}
+	got := c.ManifestsFor([]uint64{ids[2], ids[0]}) // "d" and "b"
+	if len(got) != 2 {
+		t.Fatalf("got %d manifests, want 2", len(got))
+	}
+	// Export order is label-sorted, not request order: "b" before "d".
+	if got[0].Label != "b" || got[1].Label != "d" {
+		t.Fatalf("wrong order: %q, %q", got[0].Label, got[1].Label)
+	}
+	if got := c.ManifestsFor(nil); got != nil {
+		t.Fatalf("empty id list should return nil")
+	}
+	var nilc *Collector
+	if got := nilc.ManifestsFor(ids); got != nil {
+		t.Fatalf("nil collector should return nil")
+	}
+}

@@ -212,6 +212,13 @@ func (s *Sensor) Energy() Joules {
 	return Joules(float64(s.Average()) * span)
 }
 
+// EnergyKWh converts an average draw sustained over a duration into
+// kilowatt-hours — the unit fleet-level energy rollups and electricity
+// bills are quoted in.
+func EnergyKWh(avg Watts, d sim.Duration) float64 {
+	return float64(avg) * d.Seconds() / 3600 / 1000
+}
+
 // Efficiency is the paper's energy-efficiency metric: useful throughput
 // divided by system-wide energy. Units: bits per joule when throughput is
 // bits/s (equivalently Gb/s per kW scaled); ops per joule for op-metered

@@ -1,0 +1,103 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/fleet"
+)
+
+// Fleet renders fleet-run results in the paper's table style: one row
+// per run (typically one per dispatch policy over the same fleet and
+// trace), with the 5-year TCO column shown as a delta against the first
+// row so policy comparisons read at a glance.
+func Fleet(w io.Writer, rows []fleet.Result) {
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "Fleet — %d servers on the scaled diurnal trace (offered %.2f Gb/s, SLO p99 ≤ %v)\n",
+		rows[0].Servers, rows[0].OfferedGbps, rows[0].SLO)
+	t := NewTable("",
+		"policy", "servers", "agg Gb/s", "delivered", "fleet p99", "SLO att.",
+		"util min/avg/max", "W/server", "kWh/day", "5-yr TCO Δ")
+	base := rows[0].TCO5yrUSD
+	for i, r := range rows {
+		delta := "baseline"
+		if i > 0 {
+			delta = fmt.Sprintf("%+.0f $", r.TCO5yrUSD-base)
+		}
+		t.Add(
+			string(r.Policy),
+			fmt.Sprintf("%d", r.Servers),
+			fmt.Sprintf("%.2f", r.AggTputGbps),
+			fmt.Sprintf("%.1f%%", r.DeliveredFrac*100),
+			r.FleetP99.String(),
+			fmt.Sprintf("%.2f%%", r.Attainment*100),
+			fmt.Sprintf("%.2f/%.2f/%.2f", r.UtilMin, r.UtilMean, r.UtilMax),
+			fmt.Sprintf("%.1f", r.AvgPowerPerServerW),
+			fmt.Sprintf("%.1f", r.EnergyKWhPerDay),
+			delta,
+		)
+	}
+	t.Render(w)
+}
+
+// FleetServers renders the per-server breakdown of one fleet run,
+// grouped by class (identical servers in a class share one simulated
+// measurement, so one row per class suffices).
+func FleetServers(w io.Writer, r fleet.Result) {
+	fmt.Fprintf(w, "Per-server detail — policy %s\n", r.Policy)
+	t := NewTable("", "class", "platform", "servers", "offered Gb/s", "tput Gb/s", "util", "W", "p99", "dropped")
+	type agg struct {
+		count   int
+		first   fleet.ServerResult
+		dropped uint64
+	}
+	var order []string
+	byClass := map[string]*agg{}
+	for _, s := range r.PerServer {
+		a, ok := byClass[s.Class]
+		if !ok {
+			a = &agg{first: s}
+			byClass[s.Class] = a
+			order = append(order, s.Class)
+		}
+		a.count++
+		a.dropped += s.Dropped
+	}
+	for _, cl := range order {
+		a := byClass[cl]
+		s := a.first
+		t.Add(cl, string(s.Platform), fmt.Sprintf("%d", a.count),
+			fmt.Sprintf("%.3f", s.OfferedGbps), fmt.Sprintf("%.3f", s.TputGbps),
+			fmt.Sprintf("%.2f", s.Util), fmt.Sprintf("%.1f", s.PowerW),
+			s.P99.String(), fmt.Sprintf("%d", a.dropped))
+	}
+	t.Render(w)
+}
+
+// Provision renders the provisioning-search table — the generalization
+// of Table 5: per application, the minimum fleet of each flavour that
+// serves the target load, and the lifetime cost of each.
+func Provision(w io.Writer, rows []fleet.ProvisionResult) {
+	fmt.Fprintln(w, "Provisioning — minimum servers meeting the target load (generalized Table 5)")
+	t := NewTable("",
+		"app", "target Gb/s", "SNIC fleet", "NIC fleet", "NIC/SNIC",
+		"W/SNIC srv", "W/NIC srv", "TCO SNIC", "TCO NIC", "savings", "probes")
+	for _, r := range rows {
+		t.Add(
+			r.App,
+			fmt.Sprintf("%.1f", r.TargetGbps),
+			fmt.Sprintf("%d× %s", r.ServersSNIC, r.SNICPlatform),
+			fmt.Sprintf("%d× host", r.ServersNIC),
+			fmt.Sprintf("%.2fx", r.Ratio),
+			fmt.Sprintf("%.1f", r.SNICPowerW),
+			fmt.Sprintf("%.1f", r.NICPowerW),
+			fmt.Sprintf("$%.0f", r.TCOSNIC),
+			fmt.Sprintf("$%.0f", r.TCONIC),
+			fmt.Sprintf("%.1f%%", r.SavingsFrac*100),
+			fmt.Sprintf("%d", r.Probes),
+		)
+	}
+	t.Render(w)
+}

@@ -1,0 +1,51 @@
+package stats
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestCountAtOrBelow(t *testing.T) {
+	h := NewHistogram()
+	if got := h.CountAtOrBelow(sim.Millisecond); got != 0 {
+		t.Fatalf("empty histogram: got %d, want 0", got)
+	}
+	for i := 1; i <= 1000; i++ {
+		h.Record(sim.Duration(i) * sim.Microsecond)
+	}
+	if got := h.CountAtOrBelow(0); got != 0 {
+		t.Fatalf("below min: got %d, want 0", got)
+	}
+	if got := h.CountAtOrBelow(h.Max()); got != h.Count() {
+		t.Fatalf("at max: got %d, want %d", got, h.Count())
+	}
+	// Interior threshold: 300µs SLO over a uniform 1..1000µs spread should
+	// admit ~30% of observations, within the ~1.6% bucket-width error.
+	got := float64(h.CountAtOrBelow(300*sim.Microsecond)) / float64(h.Count())
+	if got < 0.27 || got > 0.33 {
+		t.Fatalf("attainment at 300µs = %.3f, want ≈0.30", got)
+	}
+	// Monotone in the threshold.
+	prev := uint64(0)
+	for us := 1; us <= 1000; us += 37 {
+		n := h.CountAtOrBelow(sim.Duration(us) * sim.Microsecond)
+		if n < prev {
+			t.Fatalf("CountAtOrBelow not monotone at %dµs: %d < %d", us, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestCountAtOrBelowMergeAdds(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	for i := 0; i < 100; i++ {
+		a.Record(100 * sim.Microsecond)
+		b.Record(900 * sim.Microsecond)
+	}
+	sum := a.CountAtOrBelow(500*sim.Microsecond) + b.CountAtOrBelow(500*sim.Microsecond)
+	a.Merge(b)
+	if got := a.CountAtOrBelow(500 * sim.Microsecond); got != sum {
+		t.Fatalf("merged count %d != sum of parts %d", got, sum)
+	}
+}

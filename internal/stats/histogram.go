@@ -150,6 +150,34 @@ func (h *Histogram) P50() sim.Duration  { return h.Quantile(0.50) }
 func (h *Histogram) P99() sim.Duration  { return h.Quantile(0.99) }
 func (h *Histogram) P999() sim.Duration { return h.Quantile(0.999) }
 
+// CountAtOrBelow returns the number of observations whose bucket
+// representative is at or below d — the numerator of an SLO attainment
+// ratio (fraction of requests meeting a latency target). Like Quantile,
+// the answer carries bucket-width error at interior thresholds.
+func (h *Histogram) CountAtOrBelow(d sim.Duration) uint64 {
+	if h.total == 0 || d < h.min {
+		return 0
+	}
+	if d >= h.max {
+		return h.total
+	}
+	var n uint64
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		v := h.bucketValue(i)
+		if v < h.min {
+			v = h.min
+		}
+		if v > d {
+			break
+		}
+		n += c
+	}
+	return n
+}
+
 // Merge folds other into h. Resolutions must match.
 func (h *Histogram) Merge(other *Histogram) {
 	if other == nil || other.total == 0 {

@@ -120,6 +120,31 @@ func (m CostModel) Analyze(app string, snic, nic AppMeasurement) Row {
 	return row
 }
 
+// FleetServer is one server of a heterogeneous fleet for lifetime-cost
+// rollups: whether it carries a SmartNIC (full-system price) and its
+// measured average power draw.
+type FleetServer struct {
+	SNIC   bool
+	PowerW float64
+}
+
+// FleetTCO sums the lifetime cost of an arbitrary server mix: hardware
+// price plus electricity for each server's own measured power. This
+// generalizes Analyze (which compares two homogeneous equal-throughput
+// fleets) to the mixed fleets the fleet simulator provisions.
+func (m CostModel) FleetTCO(servers []FleetServer) float64 {
+	var total float64
+	for _, s := range servers {
+		price := m.ServerWithNICUSD
+		if s.SNIC {
+			price = m.ServerWithSNICUSD
+		}
+		kwh := s.PowerW * hoursPerYear * m.Years / 1000
+		total += price + kwh*m.PowerUSDPerKWh
+	}
+	return total
+}
+
 // PaperTable5Inputs returns the power/throughput values as published in
 // Table 5, for reproducing the table verbatim (our simulator produces
 // its own measured variants; see the snicbench -exp table5 command).

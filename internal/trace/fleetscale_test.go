@@ -1,0 +1,60 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+// The paper reports ~0.76 Gb/s mean REM throughput on the proprietary
+// hyperscaler trace; the synthetic stand-in must land within 5% of that
+// at the default seed (it is rescaled to hit the mean exactly, so this
+// is a guard against config drift, not generator noise).
+func TestHyperscalerDefaultMeanNearPaper(t *testing.T) {
+	h := NewHyperscalerTrace(DefaultHyperscalerConfig())
+	const paperMean = 0.76
+	if got := h.MeanGbps(); math.Abs(got-paperMean)/paperMean > 0.05 {
+		t.Fatalf("default trace mean = %.4f Gb/s, want within 5%% of %.2f", got, paperMean)
+	}
+}
+
+func TestHyperscalerScaleLinearMean(t *testing.T) {
+	h := NewHyperscalerTrace(DefaultHyperscalerConfig())
+	for _, factor := range []float64{0.5, 1, 36, 1000} {
+		s := h.Scale(factor)
+		want := h.MeanGbps() * factor
+		if got := s.MeanGbps(); math.Abs(got-want) > 1e-9*math.Max(1, want) {
+			t.Fatalf("Scale(%v) mean = %v, want %v", factor, got, want)
+		}
+		if s.Interval != h.Interval {
+			t.Fatalf("Scale changed interval: %v != %v", s.Interval, h.Interval)
+		}
+	}
+}
+
+// Scaling must preserve burst structure: each scaled point, normalized by
+// the scaled mean, equals the base point normalized by the base mean.
+func TestHyperscalerScalePreservesShape(t *testing.T) {
+	h := NewHyperscalerTrace(DefaultHyperscalerConfig())
+	s := h.Scale(512)
+	hm, sm := h.MeanGbps(), s.MeanGbps()
+	for i := range h.RatesGbps {
+		base := h.RatesGbps[i] / hm
+		scaled := s.RatesGbps[i] / sm
+		if math.Abs(base-scaled) > 1e-9 {
+			t.Fatalf("point %d: normalized shape diverged (%v vs %v)", i, base, scaled)
+		}
+	}
+	// Peak-to-mean ratio (burstiness) is invariant too.
+	if math.Abs(h.PeakGbps()/hm-s.PeakGbps()/sm) > 1e-9 {
+		t.Fatalf("peak-to-mean ratio changed under Scale")
+	}
+}
+
+func TestHyperscalerScaleNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("Scale(-1) did not panic")
+		}
+	}()
+	NewHyperscalerTrace(DefaultHyperscalerConfig()).Scale(-1)
+}

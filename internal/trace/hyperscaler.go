@@ -131,6 +131,24 @@ func (h *HyperscalerTrace) Compress(interval sim.Duration) *HyperscalerTrace {
 	return &HyperscalerTrace{Interval: interval, RatesGbps: h.RatesGbps}
 }
 
+// Scale multiplies every rate sample by factor, turning the single-server
+// trace (mean ≈ 0.76 Gb/s) into a fleet-level offered load (multi-Tb/s at
+// datacenter scale). The burst structure is preserved exactly: the scaled
+// series has the same normalized shape, just a linearly scaled mean.
+func (h *HyperscalerTrace) Scale(factor float64) *HyperscalerTrace {
+	if factor < 0 {
+		panic("trace: negative scale factor")
+	}
+	out := &HyperscalerTrace{
+		Interval:  h.Interval,
+		RatesGbps: make([]float64, len(h.RatesGbps)),
+	}
+	for i, v := range h.RatesGbps {
+		out.RatesGbps[i] = v * factor
+	}
+	return out
+}
+
 // Subsample keeps every k-th rate point.
 func (h *HyperscalerTrace) Subsample(k int) *HyperscalerTrace {
 	if k <= 1 {
