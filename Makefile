@@ -1,12 +1,25 @@
 GO ?= go
 
-.PHONY: verify build test vet race bench bench-compare faults trace-determinism
+.PHONY: verify build test vet lint race bench bench-compare faults trace-determinism
 
 # Tier-1 verification: everything CI and reviewers gate on.
-verify: vet build race
+verify: vet build race lint
 
 vet:
 	$(GO) vet ./...
+
+# Build the repo's own analysis suite and run it through the standard
+# vet driver. The five analyzers (wallclock, seedrand, maporder,
+# unitcheck, floateq) enforce the determinism and unit-safety
+# invariants of DESIGN.md §9.
+lint: bin/snicvet
+	$(GO) vet -vettool=bin/snicvet ./...
+
+bin/snicvet: FORCE
+	$(GO) build -o bin/snicvet ./tools/snicvet
+
+.PHONY: FORCE
+FORCE:
 
 build:
 	$(GO) build ./...

@@ -491,6 +491,7 @@ func Catalog() []*Config {
 	// Solve the Arm factors for every CPU-vs-CPU net-served entry with a
 	// throughput target.
 	for _, c := range out {
+		//snicvet:ignore floateq -1 is an exact sentinel assigned above, never the result of arithmetic
 		if c.SNICFactor == -1 {
 			if c.WantTputRatio > 0 && c.Mode == ModeNetServe {
 				c.SNICFactor = solveSNICFactor(c)

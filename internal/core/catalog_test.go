@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/netstack"
@@ -23,8 +24,13 @@ func TestCatalogCoversTable3(t *testing.T) {
 		"mica":          {"batch4", "batch32"},
 		"fio":           {"read", "write"},
 	}
-	for fn, variants := range wantFunctions {
-		for _, v := range variants {
+	names := make([]string, 0, len(wantFunctions))
+	for fn := range wantFunctions {
+		names = append(names, fn)
+	}
+	sort.Strings(names)
+	for _, fn := range names {
+		for _, v := range wantFunctions[fn] {
 			if _, err := Lookup(fn, v); err != nil {
 				t.Errorf("catalog missing %s/%s: %v", fn, v, err)
 			}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/accel"
 	"repro/internal/fault"
@@ -496,12 +497,19 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 		YoctoMissedSamples: tb.YoctoWatt.MissedSamples(),
 	}
 	// Flights still pending at the horizon never resolved: count them
-	// with the drops rather than pretending they were delivered.
-	for _, f := range inflight {
+	// with the drops rather than pretending they were delivered. Close
+	// spans in sequence order so the exported trace does not depend on
+	// map iteration order.
+	pending := make([]uint64, 0, len(inflight))
+	for seq, f := range inflight {
 		if !f.done {
-			dropped++
-			rec.Close(f.span, eng.Now())
+			pending = append(pending, seq)
 		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i] < pending[j] })
+	for _, seq := range pending {
+		dropped++
+		rec.Close(inflight[seq].span, eng.Now())
 	}
 	res.Dropped = dropped
 	if served := hostServed + snicServed; served > 0 {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/funcs/ovs"
 	"repro/internal/funcs/storagefn"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/trace"
 )
 
@@ -140,7 +141,7 @@ func funcBM25(rep FunctionalReport, variant string, n int, seed uint64) (Functio
 				break
 			}
 		}
-		if len(top) > 0 && top[0].Score != idx.Score(top[0].DocID, q) {
+		if len(top) > 0 && !stats.ApproxEqual(top[0].Score, idx.Score(top[0].DocID, q), 1e-9) {
 			rep.Failures++
 		}
 	}

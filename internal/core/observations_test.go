@@ -1,6 +1,7 @@
 package core
 
 import (
+	"sort"
 	"testing"
 
 	"repro/internal/sim"
@@ -130,9 +131,14 @@ func TestObservation5EfficiencyBounded(t *testing.T) {
 		[2]string{"udp-echo", "64B"},
 		[2]string{"crypto", "sha1"},
 	)
-	for name, row := range rows {
-		if row.EffRatio > 5.6 || row.EffRatio < 0.05 {
-			t.Errorf("O5: %s efficiency ratio %.2f outside plausible band", name, row.EffRatio)
+	rowNames := make([]string, 0, len(rows))
+	for name := range rows {
+		rowNames = append(rowNames, name)
+	}
+	sort.Strings(rowNames)
+	for _, name := range rowNames {
+		if r := rows[name]; r.EffRatio > 5.6 || r.EffRatio < 0.05 {
+			t.Errorf("O5: %s efficiency ratio %.2f outside plausible band", name, r.EffRatio)
 		}
 	}
 	if rows["compress/app"].EffRatio < 3.0 {

@@ -123,9 +123,9 @@ func TestForEach(t *testing.T) {
 			if len(seen) != n {
 				t.Fatalf("workers=%d n=%d: visited %d indices", workers, n, len(seen))
 			}
-			for i, c := range seen {
-				if c != 1 {
-					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, c)
+			for i := 0; i < n; i++ {
+				if seen[i] != 1 {
+					t.Fatalf("workers=%d n=%d: index %d visited %d times", workers, n, i, seen[i])
 				}
 			}
 		}

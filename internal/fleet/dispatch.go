@@ -233,6 +233,7 @@ func dispatchAdvisor(a *Assignment, i int, rate float64, caps, scores []float64,
 		return
 	}
 	sort.SliceStable(order, func(x, y int) bool {
+		//snicvet:ignore floateq sort comparators need an exact strict weak order; a tolerance would make it intransitive
 		if scores[order[x]] != scores[order[y]] {
 			return scores[order[x]] > scores[order[y]]
 		}

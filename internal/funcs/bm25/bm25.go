@@ -129,6 +129,7 @@ func (idx *Index) TopK(query []string, k int) []Result {
 		res = append(res, Result{DocID: id, Score: s})
 	}
 	sort.Slice(res, func(i, j int) bool {
+		//snicvet:ignore floateq sort comparators need an exact strict weak order; a tolerance would make it intransitive
 		if res[i].Score != res[j].Score {
 			return res[i].Score > res[j].Score
 		}

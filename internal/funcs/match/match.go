@@ -82,15 +82,26 @@ func (m *Matcher) insert(p string, id int32) {
 // buildFailLinks runs the standard BFS, flattening output links so the
 // scan loop never chases suffix chains.
 func (m *Matcher) buildFailLinks() {
+	// Walk goto edges in byte order, not map order: the automaton the
+	// BFS produces is the same either way, but a deterministic build
+	// order keeps node visit order — and therefore any instrumentation
+	// or debug output — reproducible run to run.
 	queue := make([]int32, 0, len(m.nodes))
-	for _, v := range m.nodes[0].next {
-		m.nodes[v].fail = 0
-		queue = append(queue, v)
+	for c := 0; c < 256; c++ {
+		if v, ok := m.nodes[0].next[byte(c)]; ok {
+			m.nodes[v].fail = 0
+			queue = append(queue, v)
+		}
 	}
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for c, v := range m.nodes[u].next {
+		for ci := 0; ci < 256; ci++ {
+			c := byte(ci)
+			v, ok := m.nodes[u].next[c]
+			if !ok {
+				continue
+			}
 			queue = append(queue, v)
 			f := m.nodes[u].fail
 			for f != 0 {

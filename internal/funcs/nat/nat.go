@@ -7,6 +7,7 @@ package nat
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -134,14 +135,23 @@ func (t *Table) RewriteOutbound(h *Header) bool {
 }
 
 // SomePublic returns a deterministic sample of n public addresses from
-// the table, for request generation.
+// the table, for request generation. The previous implementation took
+// the first n keys of a map walk, which is randomized per process; now
+// the keys are sorted and a seeded partial Fisher–Yates picks the
+// sample, so the same (table, n, seed) always yields the same slice.
 func (t *Table) SomePublic(n int, seed uint64) []IPv4 {
-	out := make([]IPv4, 0, n)
+	all := make([]IPv4, 0, len(t.toPrivate))
 	for pub := range t.toPrivate {
-		out = append(out, pub)
-		if len(out) == n {
-			break
-		}
+		all = append(all, pub)
 	}
-	return out
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if n >= len(all) {
+		return all
+	}
+	r := sim.NewRNG(seed)
+	for i := 0; i < n; i++ {
+		j := i + r.Intn(len(all)-i)
+		all[i], all[j] = all[j], all[i]
+	}
+	return all[:n]
 }

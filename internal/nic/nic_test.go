@@ -124,12 +124,16 @@ func TestWireDirectionsIndependent(t *testing.T) {
 }
 
 func TestDestinationStrings(t *testing.T) {
-	for d, want := range map[Destination]string{
-		ToHostCPU: "host-cpu", ToSNICCPU: "snic-cpu",
-		ToAccelerator: "snic-accel", Drop: "drop",
+	// Ordered slice, not a map: failure output stays stable run to run.
+	for _, c := range []struct {
+		d    Destination
+		want string
+	}{
+		{ToHostCPU, "host-cpu"}, {ToSNICCPU, "snic-cpu"},
+		{ToAccelerator, "snic-accel"}, {Drop, "drop"},
 	} {
-		if d.String() != want {
-			t.Errorf("%d.String() = %q, want %q", int(d), d.String(), want)
+		if c.d.String() != c.want {
+			t.Errorf("%d.String() = %q, want %q", int(c.d), c.d.String(), c.want)
 		}
 	}
 }

@@ -1,0 +1,22 @@
+// Package analyzers holds the snicvet analysis passes. Each analyzer
+// turns one of the simulator's determinism or unit-safety conventions
+// into a compile-time checked property; see DESIGN.md §9 for the
+// rationale behind the suite.
+package analyzers
+
+import "repro/tools/snicvet/internal/lint"
+
+// All returns the full snicvet suite in reporting order.
+func All() []*lint.Analyzer {
+	return []*lint.Analyzer{Wallclock, Seedrand, Maporder, Unitcheck, Floateq}
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *lint.Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

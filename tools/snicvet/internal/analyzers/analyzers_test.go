@@ -1,0 +1,63 @@
+package analyzers_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/tools/snicvet/internal/analyzers"
+	"repro/tools/snicvet/internal/atest"
+)
+
+func fixture(name string) string {
+	return filepath.Join("..", "..", "testdata", "src", name)
+}
+
+func TestWallclock(t *testing.T) {
+	atest.Run(t, fixture("wallclock"), analyzers.Wallclock)
+}
+
+func TestSeedrand(t *testing.T) {
+	atest.Run(t, fixture("seedrand"), analyzers.Seedrand)
+}
+
+func TestMaporder(t *testing.T) {
+	atest.Run(t, fixture("maporder"), analyzers.Maporder)
+}
+
+func TestUnitcheck(t *testing.T) {
+	atest.Run(t, fixture("unitcheck"), analyzers.Unitcheck)
+}
+
+func TestFloateq(t *testing.T) {
+	atest.Run(t, fixture("floateq"), analyzers.Floateq)
+}
+
+// TestSuppressions runs two analyzers together over the suppression
+// fixture: directives silence exactly the named analyzers on exactly
+// their line, through the same lint.Run path the driver uses.
+func TestSuppressions(t *testing.T) {
+	atest.Run(t, fixture("suppress"), analyzers.Wallclock, analyzers.Floateq)
+}
+
+func TestRegistry(t *testing.T) {
+	all := analyzers.All()
+	if len(all) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(all))
+	}
+	seen := map[string]bool{}
+	for _, a := range all {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %+v incompletely declared", a)
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if analyzers.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if analyzers.ByName("nope") != nil {
+		t.Error("ByName of unknown analyzer should be nil")
+	}
+}

@@ -1,0 +1,77 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/tools/snicvet/internal/lint"
+)
+
+// Floateq flags == and != between floating-point operands in model
+// code. Exact float equality silently depends on association order and
+// intermediate rounding, which differs across refactors even when the
+// math is "the same"; the stats package's tolerance helpers
+// (stats.ApproxEqual) make the intended precision explicit.
+//
+// Comparisons against an exact constant zero are allowed: the
+// resample-until-nonzero and division-guard idioms test a value that
+// is zero by construction, not by arithmetic.
+var Floateq = &lint.Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between floats; use stats.ApproxEqual or an " +
+		"explicit tolerance (comparisons with literal 0 are allowed)",
+	Run: runFloateq,
+}
+
+func runFloateq(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(pass, be.X) || !isFloat(pass, be.Y) {
+				return true
+			}
+			if isZeroConst(pass, be.X) || isZeroConst(pass, be.Y) {
+				return true
+			}
+			// Two constants fold at compile time; nothing to round.
+			if constVal(pass, be.X) != nil && constVal(pass, be.Y) != nil {
+				return true
+			}
+			pass.Reportf(be.Pos(),
+				"floating-point %s is exact; use stats.ApproxEqual (internal/stats) or an explicit tolerance",
+				be.Op)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(pass *lint.Pass, e ast.Expr) bool {
+	t := pass.TypesInfo.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func constVal(pass *lint.Pass, e ast.Expr) constant.Value {
+	if tv, ok := pass.TypesInfo.Types[e]; ok {
+		return tv.Value
+	}
+	return nil
+}
+
+func isZeroConst(pass *lint.Pass, e ast.Expr) bool {
+	v := constVal(pass, e)
+	if v == nil {
+		return false
+	}
+	f, ok := constant.Float64Val(v)
+	return ok && f == 0
+}

@@ -1,0 +1,215 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/tools/snicvet/internal/lint"
+)
+
+// Maporder flags `for range` over a map whose body feeds an
+// order-sensitive sink: appending to a slice that is never sorted,
+// writing through fmt/log/io.Writer/testing helpers, or calling into
+// the telemetry (internal/obs) or report layers. Go randomizes map
+// iteration order per process, so any of these silently breaks the
+// byte-identical-output guarantee the golden-file diffs enforce.
+//
+// The canonical collect-keys-then-sort idiom is recognized: an append
+// target that is later passed to a sort/slices call in the same
+// function is not reported.
+var Maporder = &lint.Analyzer{
+	Name: "maporder",
+	Doc: "flag map iteration that emits output or collects into an " +
+		"unsorted slice; sort keys before emission to keep output byte-identical",
+	Run: runMaporder,
+}
+
+// emitFuncs lists package-level functions that write directly to a
+// stream. Sprint* variants are excluded: their results flow into
+// expressions the append/collect rule already covers.
+var emitFuncs = map[string]map[string]bool{
+	"fmt": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fprint": true, "Fprintf": true, "Fprintln": true,
+	},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+// emitMethodPkgs are packages whose functions and methods record or
+// emit in call order: anything reached from an unsorted map walk makes
+// trace/report bytes depend on iteration order.
+var emitMethodPkgs = map[string]bool{
+	"repro/internal/obs":    true,
+	"repro/internal/report": true,
+	"testing":               true,
+}
+
+// ioWriterIface is a structural io.Writer, built by hand so the
+// analyzer needs no dependency on the io package's export data.
+var ioWriterIface = func() *types.Interface {
+	errType := types.Universe.Lookup("error").Type()
+	sig := types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+			types.NewVar(token.NoPos, nil, "err", errType)),
+		false)
+	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func runMaporder(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncMapRanges(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+// checkFuncMapRanges finds map-range statements anywhere in body
+// (including nested function literals) and inspects their bodies for
+// order-sensitive sinks. Sort calls are searched in the whole enclosing
+// declaration, which is where the collect-then-sort idiom puts them.
+func checkFuncMapRanges(pass *lint.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkRangeBody(pass, rs, body)
+		return true
+	})
+}
+
+func checkRangeBody(pass *lint.Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// append to a slice declared outside the loop, never sorted.
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+			target, ok := call.Args[0].(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pass.TypesInfo.ObjectOf(target)
+			if obj == nil || insideRange(obj.Pos(), rs) {
+				return true
+			}
+			if !sortedLater(pass, obj, enclosing) {
+				pass.Reportf(call.Pos(),
+					"append to %s inside map iteration has nondeterministic order; sort the keys (or %s) before use",
+					target.Name, target.Name)
+			}
+			return true
+		}
+		// Direct emission: fmt/log print family, testing helpers,
+		// telemetry/report calls, io.Writer methods.
+		fn := calleeFunc(pass, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		pkg := fn.Pkg().Path()
+		if names, ok := emitFuncs[pkg]; ok && names[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"%s.%s inside map iteration emits in nondeterministic order; sort the keys before emitting",
+				pkg, fn.Name())
+			return true
+		}
+		if emitMethodPkgs[pkg] {
+			pass.Reportf(call.Pos(),
+				"call to %s.%s inside map iteration records in nondeterministic order; sort the keys first",
+				pkg, fn.Name())
+			return true
+		}
+		if recv := recvType(fn); recv != nil && types.Implements(recv, ioWriterIface) &&
+			(fn.Name() == "Write" || fn.Name() == "WriteString" || fn.Name() == "WriteByte" || fn.Name() == "WriteRune") {
+			pass.Reportf(call.Pos(),
+				"write to %v inside map iteration emits in nondeterministic order; sort the keys before writing", recv)
+		}
+		return true
+	})
+}
+
+// calleeFunc resolves the called function or method, if statically known.
+func calleeFunc(pass *lint.Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// recvType returns the receiver type of a method, or nil for plain functions.
+func recvType(fn *types.Func) types.Type {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	return sig.Recv().Type()
+}
+
+// insideRange reports whether pos falls within the range statement.
+func insideRange(pos token.Pos, rs *ast.RangeStmt) bool {
+	return pos >= rs.Pos() && pos <= rs.End()
+}
+
+// sortedLater reports whether obj is passed (possibly nested in a
+// conversion such as sort.Sort(byName(s))) to a sort or slices call
+// anywhere in the enclosing function body.
+func sortedLater(pass *lint.Pass, obj types.Object, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,196 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/tools/snicvet/internal/lint"
+)
+
+// Unitcheck flags expressions that mix identifiers carrying conflicting
+// unit suffixes, and bare numeric literals passed to unit-suffixed
+// parameters. The calibration tables mix nanoseconds, CPU cycles,
+// Gbit/s and bytes; a silent ns-vs-cycles or Gbps-vs-GBps slip skews
+// every downstream figure without failing a single test, which is
+// exactly the measurement-path corruption the BlueField-2
+// characterization work warns about.
+//
+// Checked forms (deliberately conservative — only plain identifiers
+// and field selectors, so arithmetic conversions like ns := us*1000
+// never trip it):
+//
+//   - assignment:  xNs = yUs, x.LatencyNs += y.WaitUs
+//   - comparison/additive op:  aCycles < bNs, aGbps + bGBps
+//   - call argument vs parameter name:  f(xMs) where f(durNs ...)
+//   - bare non-zero numeric literal for a unit-suffixed parameter
+//     (non-test files only; named constants encode intent, raw
+//     literals do not)
+var Unitcheck = &lint.Analyzer{
+	Name: "unitcheck",
+	Doc: "flag mixed unit suffixes (Ns/Us/Ms, Cycles, Gbps/GBps, Bytes/KB) " +
+		"in assignments, comparisons and call arguments",
+	Run: runUnitcheck,
+}
+
+// unitDims maps each recognized suffix to its dimension. Suffixes in
+// the same dimension are different scales of one quantity (still an
+// error to mix without conversion); different dimensions are distinct
+// physical quantities.
+var unitDims = map[string]string{
+	"Ns": "time", "Us": "time", "Ms": "time",
+	"Cycles": "cycles",
+	"Gbps":   "rate", "GBps": "rate",
+	"Bytes": "size", "KB": "size",
+}
+
+// unitSuffixes is ordered longest-first so e.g. Cycles wins over a
+// shorter accidental match.
+var unitSuffixes = []string{"Cycles", "Bytes", "Gbps", "GBps", "KB", "Ns", "Us", "Ms"}
+
+// unitOf extracts the unit suffix of an identifier, honoring camelCase
+// word boundaries: RoundTripNs and sizeBytes carry units, DNS and
+// Pens do not. A bare lowercase unit name (gbps, cycles) also counts.
+func unitOf(name string) string {
+	for _, suf := range unitSuffixes {
+		if name == strings.ToLower(suf) || name == suf {
+			return suf
+		}
+		if !strings.HasSuffix(name, suf) {
+			continue
+		}
+		prev := rune(name[len(name)-len(suf)-1])
+		if prev >= 'a' && prev <= 'z' || prev >= '0' && prev <= '9' {
+			return suf
+		}
+	}
+	return ""
+}
+
+// unitOfExpr returns the unit carried by a plain identifier or field
+// selector, and "" for anything else.
+func unitOfExpr(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return unitOf(e.Name)
+	case *ast.SelectorExpr:
+		return unitOf(e.Sel.Name)
+	}
+	return ""
+}
+
+func mismatch(a, b string) string {
+	if a == "" || b == "" || a == b {
+		return ""
+	}
+	if unitDims[a] == unitDims[b] {
+		return "different scales of the same quantity"
+	}
+	return "different physical quantities"
+}
+
+func runUnitcheck(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		isTest := strings.HasSuffix(pass.Fset.Position(file.Pos()).Filename, "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				checkAssign(pass, n)
+			case *ast.BinaryExpr:
+				checkBinary(pass, n)
+			case *ast.CallExpr:
+				checkCall(pass, n, isTest)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkAssign(pass *lint.Pass, as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i := range as.Lhs {
+		lu, ru := unitOfExpr(as.Lhs[i]), unitOfExpr(as.Rhs[i])
+		if why := mismatch(lu, ru); why != "" {
+			pass.Reportf(as.Pos(),
+				"assignment mixes units %s and %s (%s); convert explicitly",
+				lu, ru, why)
+		}
+	}
+}
+
+// additive and comparison operators preserve units, so both sides must
+// agree; * and / legitimately change units and are not checked.
+var unitPreservingOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true,
+	token.EQL: true, token.NEQ: true,
+	token.LSS: true, token.LEQ: true,
+	token.GTR: true, token.GEQ: true,
+}
+
+func checkBinary(pass *lint.Pass, be *ast.BinaryExpr) {
+	if !unitPreservingOps[be.Op] {
+		return
+	}
+	lu, ru := unitOfExpr(be.X), unitOfExpr(be.Y)
+	if why := mismatch(lu, ru); why != "" {
+		pass.Reportf(be.Pos(),
+			"%s mixes units %s and %s (%s); convert explicitly",
+			be.Op, lu, ru, why)
+	}
+}
+
+func checkCall(pass *lint.Pass, call *ast.CallExpr, isTest bool) {
+	// Conversions like sim.Duration(x) and builtins have no
+	// *types.Signature and are skipped here.
+	sig, ok := pass.TypesInfo.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		idx := i
+		if sig.Variadic() && idx >= params.Len()-1 {
+			idx = params.Len() - 1
+		}
+		if idx >= params.Len() {
+			continue
+		}
+		param := params.At(idx)
+		punit := unitOf(param.Name())
+		if punit == "" {
+			continue
+		}
+		if au := unitOfExpr(arg); au != "" {
+			if why := mismatch(punit, au); why != "" {
+				pass.Reportf(arg.Pos(),
+					"argument %s has unit %s but parameter %s wants %s (%s)",
+					exprString(arg), au, param.Name(), punit, why)
+			}
+			continue
+		}
+		if isTest {
+			continue
+		}
+		if lit, ok := arg.(*ast.BasicLit); ok &&
+			(lit.Kind == token.INT || lit.Kind == token.FLOAT) &&
+			lit.Value != "0" && lit.Value != "0.0" {
+			pass.Reportf(arg.Pos(),
+				"bare literal %s passed to unit-suffixed parameter %s (%s); use a named constant so the unit is checked",
+				lit.Value, param.Name(), punit)
+		}
+	}
+}
+
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	}
+	return "expression"
+}

@@ -1,0 +1,213 @@
+// Package atest is a self-contained stand-in for
+// golang.org/x/tools/go/analysis/analysistest: it typechecks a fixture
+// package under testdata, runs analyzers over it through the same
+// lint.Run path the driver uses (so suppression directives behave
+// identically), and diffs the findings against `// want "regexp"`
+// comments in the fixture source.
+//
+// Imports in fixtures — standard library or this module's packages —
+// are resolved by asking the go command for export data, the same
+// type information the vet-tool protocol hands the real driver.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/tools/snicvet/internal/lint"
+)
+
+var (
+	exportMu    sync.Mutex
+	exportFiles = map[string]string{} // import path -> export data file
+)
+
+// exportFile asks the go command where the compiled export data for an
+// import path lives, building it if needed. Results are cached for the
+// life of the test binary.
+func exportFile(path string) (string, error) {
+	exportMu.Lock()
+	defer exportMu.Unlock()
+	if f, ok := exportFiles[path]; ok {
+		return f, nil
+	}
+	out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path).Output()
+	if err != nil {
+		return "", fmt.Errorf("go list -export %s: %v", path, err)
+	}
+	f := strings.TrimSpace(string(out))
+	if f == "" {
+		return "", fmt.Errorf("no export data for %q", path)
+	}
+	exportFiles[path] = f
+	return f, nil
+}
+
+// expectation is one `// want "regexp"` clause.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRe matches the clause and its first quoted regexp; additional
+// quoted strings after it are parsed by splitQuoted.
+var wantRe = regexp.MustCompile(`want\s+(".*)$`)
+
+// parseWants extracts expectations from a file's comments. A clause
+// applies to the line its comment starts on and may carry several
+// quoted regexps: // want "first" "second".
+func parseWants(t *testing.T, fset *token.FileSet, f *ast.File) []*expectation {
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			posn := fset.Position(c.Pos())
+			for _, q := range splitQuoted(m[1]) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s: bad want clause %s: %v", posn, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", posn, pat, err)
+				}
+				wants = append(wants, &expectation{file: posn.Filename, line: posn.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// splitQuoted returns the leading run of double-quoted Go strings in s.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if !strings.HasPrefix(s, `"`) {
+			return out
+		}
+		end := 1
+		for end < len(s) {
+			if s[end] == '\\' {
+				end += 2
+				continue
+			}
+			if s[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(s) {
+			return out
+		}
+		out = append(out, s[:end+1])
+		s = s[end+1:]
+	}
+}
+
+// Load parses and typechecks the fixture package in dir.
+func Load(t *testing.T, dir string) *lint.Unit {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, err := exportFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(f)
+	})
+	tc := &types.Config{Importer: imp}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	pkgPath := "snicvet.test/" + filepath.Base(dir)
+	pkg, err := tc.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("typechecking fixture %s: %v", dir, err)
+	}
+	return &lint.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
+}
+
+// Run loads the fixture package in dir, runs the analyzers, and
+// reports any mismatch between findings and // want clauses.
+func Run(t *testing.T, dir string, as ...*lint.Analyzer) {
+	t.Helper()
+	unit := Load(t, dir)
+	findings, err := lint.Run(unit, as)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wants []*expectation
+	for _, f := range unit.Files {
+		wants = append(wants, parseWants(t, unit.Fset, f)...)
+	}
+
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if w.used || w.file != f.Pos.Filename || w.line != f.Pos.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected finding [%s]: %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.re)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Package lint is a minimal, dependency-free analogue of
+// golang.org/x/tools/go/analysis: just enough framework to write
+// type-aware analyzers and run them over one typechecked compilation
+// unit. The repository builds offline with a bare go.mod, so snicvet
+// cannot vendor x/tools; the subset here (Analyzer, Pass, Diagnostic,
+// suppression comments) is all the five snicvet analyzers need.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one analysis pass and the function that runs it.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// "//snicvet:ignore <name> <reason>" suppression comments.
+	// It must be a valid identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer checks
+	// and why the invariant matters for the simulator.
+	Doc string
+
+	// Run executes the analyzer over one compilation unit.
+	Run func(*Pass) error
+}
+
+// A Pass holds one typechecked compilation unit plus the reporting
+// hooks for a single analyzer run.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. Populated by the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding from one analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Finding is a diagnostic tagged with the analyzer that produced it,
+// as collected by Run.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// IgnorePrefix is the comment directive that suppresses a finding:
+//
+//	//snicvet:ignore <analyzer> <reason>
+//
+// The directive applies to findings on its own line (trailing comment)
+// or on the line immediately below (standalone comment line). The
+// analyzer field may be a comma-separated list of analyzer names or
+// "all". A non-empty reason is mandatory: a suppression without a
+// recorded justification is itself reported.
+const IgnorePrefix = "//snicvet:ignore"
+
+// suppression is one parsed ignore directive.
+type suppression struct {
+	analyzers map[string]bool // nil means "all"
+	line      int
+}
+
+// Suppressions indexes the ignore directives of one compilation unit.
+type Suppressions struct {
+	// byFile maps filename to the directives it contains.
+	byFile map[string][]suppression
+	// malformed collects directives missing a reason or analyzer list.
+	malformed []Finding
+}
+
+// ParseSuppressions scans the comments of files for ignore directives.
+func ParseSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
+	s := &Suppressions{byFile: make(map[string][]suppression)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, IgnorePrefix) {
+					continue
+				}
+				posn := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, IgnorePrefix)
+				fields := strings.Fields(rest)
+				// fields[0] is the analyzer list, the remainder is the reason.
+				if len(fields) < 2 {
+					s.malformed = append(s.malformed, Finding{
+						Analyzer: "snicvet",
+						Pos:      posn,
+						Message: fmt.Sprintf("malformed %s directive: want %q",
+							IgnorePrefix, IgnorePrefix+" <analyzer> <reason>"),
+					})
+					continue
+				}
+				sup := suppression{line: posn.Line}
+				if fields[0] != "all" {
+					sup.analyzers = make(map[string]bool)
+					for _, name := range strings.Split(fields[0], ",") {
+						sup.analyzers[name] = true
+					}
+				}
+				s.byFile[posn.Filename] = append(s.byFile[posn.Filename], sup)
+			}
+		}
+	}
+	return s
+}
+
+// Suppressed reports whether a finding by analyzer at posn is covered
+// by a directive on the same line or the line above.
+func (s *Suppressions) Suppressed(analyzer string, posn token.Position) bool {
+	for _, sup := range s.byFile[posn.Filename] {
+		if sup.line != posn.Line && sup.line != posn.Line-1 {
+			continue
+		}
+		if sup.analyzers == nil || sup.analyzers[analyzer] {
+			return true
+		}
+	}
+	return false
+}
+
+// Unit is one compilation unit ready for analysis.
+type Unit struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// FileExempt, if non-nil, removes individual files from an
+	// analyzer's view (e.g. _test.go files for wallclock). It receives
+	// the analyzer name and the filename as recorded in the fileset.
+	FileExempt func(analyzer, filename string) bool
+}
+
+// Run executes each analyzer over the unit, applies suppression
+// directives, and returns the surviving findings sorted by position.
+// Malformed directives are always reported.
+func Run(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
+	sups := ParseSuppressions(u.Fset, u.Files)
+	findings := append([]Finding(nil), sups.malformed...)
+	for _, a := range analyzers {
+		files := u.Files
+		if u.FileExempt != nil {
+			files = nil
+			for _, f := range u.Files {
+				if !u.FileExempt(a.Name, u.Fset.Position(f.Pos()).Filename) {
+					files = append(files, f)
+				}
+			}
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      u.Fset,
+			Files:     files,
+			Pkg:       u.Pkg,
+			TypesInfo: u.TypesInfo,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			posn := u.Fset.Position(d.Pos)
+			if sups.Suppressed(name, posn) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: name, Pos: posn, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,146 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestParseSuppressionsMalformed(t *testing.T) {
+	fset, f := parse(t, `package p
+
+//snicvet:ignore wallclock
+var a int
+
+//snicvet:ignore
+var b int
+
+//snicvet:ignore floateq has a reason
+var c int
+`)
+	s := ParseSuppressions(fset, []*ast.File{f})
+	if len(s.malformed) != 2 {
+		t.Fatalf("got %d malformed directives, want 2 (missing reasons)", len(s.malformed))
+	}
+	for _, m := range s.malformed {
+		if !strings.Contains(m.Message, "malformed") {
+			t.Errorf("malformed finding message %q should say so", m.Message)
+		}
+	}
+	// The malformed directives must not suppress anything.
+	if s.Suppressed("wallclock", token.Position{Filename: "fix.go", Line: 4}) {
+		t.Error("reason-less directive must not suppress")
+	}
+	if !s.Suppressed("floateq", token.Position{Filename: "fix.go", Line: 10}) {
+		t.Error("well-formed directive on the line above must suppress")
+	}
+}
+
+func TestSuppressedScope(t *testing.T) {
+	fset, f := parse(t, `package p
+
+var a = 1 //snicvet:ignore floateq,unitcheck trailing directive with a reason
+
+//snicvet:ignore all every analyzer silenced here
+var b = 2
+`)
+	s := ParseSuppressions(fset, []*ast.File{f})
+	at := func(line int) token.Position { return token.Position{Filename: "fix.go", Line: line} }
+
+	if !s.Suppressed("floateq", at(3)) || !s.Suppressed("unitcheck", at(3)) {
+		t.Error("listed analyzers should be suppressed on the directive line")
+	}
+	if s.Suppressed("wallclock", at(3)) {
+		t.Error("unlisted analyzer should not be suppressed")
+	}
+	if !s.Suppressed("floateq", at(4)) {
+		t.Error("directive should also cover the next line")
+	}
+	if !s.Suppressed("anything", at(6)) {
+		t.Error(`"all" should suppress every analyzer on the following line`)
+	}
+	if s.Suppressed("floateq", at(7)) {
+		t.Error("directive must not leak two lines down")
+	}
+	if s.Suppressed("floateq", token.Position{Filename: "other.go", Line: 3}) {
+		t.Error("directives are scoped to their file")
+	}
+}
+
+// TestRunReportsMalformedAndSorts drives Run end to end with a
+// synthetic analyzer: malformed directives surface as findings, and
+// output is ordered by position regardless of report order.
+func TestRunReportsMalformedAndSorts(t *testing.T) {
+	fset, f := parse(t, `package p
+
+//snicvet:ignore wallclock
+var a int
+
+var b int
+`)
+	reversed := &Analyzer{
+		Name: "rev",
+		Doc:  "reports in reverse order",
+		Run: func(p *Pass) error {
+			decls := p.Files[0].Decls
+			for i := len(decls) - 1; i >= 0; i-- {
+				p.Reportf(decls[i].Pos(), "decl %d", i)
+			}
+			return nil
+		},
+	}
+	findings, err := Run(&Unit{Fset: fset, Files: []*ast.File{f}}, []*Analyzer{reversed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 3 {
+		t.Fatalf("got %d findings, want 3 (2 decls + 1 malformed directive)", len(findings))
+	}
+	for i := 1; i < len(findings); i++ {
+		if findings[i].Pos.Line < findings[i-1].Pos.Line {
+			t.Fatalf("findings not sorted by line: %v", findings)
+		}
+	}
+}
+
+// TestRunFileExempt checks the per-analyzer file filter the driver
+// uses for _test.go exemptions.
+func TestRunFileExempt(t *testing.T) {
+	fset, f := parse(t, "package p\nvar a int\n")
+	hit := 0
+	a := &Analyzer{
+		Name: "counter",
+		Doc:  "counts runs",
+		Run:  func(p *Pass) error { hit++; return nil },
+	}
+	u := &Unit{
+		Fset:       fset,
+		Files:      []*ast.File{f},
+		FileExempt: func(analyzer, filename string) bool { return analyzer == "counter" },
+	}
+	if _, err := Run(u, []*Analyzer{a}); err != nil {
+		t.Fatal(err)
+	}
+	if hit != 0 {
+		t.Fatal("analyzer ran despite all its files being exempt")
+	}
+	u.FileExempt = nil
+	if _, err := Run(u, []*Analyzer{a}); err != nil {
+		t.Fatal(err)
+	}
+	if hit != 1 {
+		t.Fatal("analyzer should run when no exemption applies")
+	}
+}

@@ -1,0 +1,29 @@
+// Fixture for the floateq analyzer: exact float equality is reported
+// except against constant zero (the resample/guard idiom) or between
+// compile-time constants.
+package floateq
+
+func compare(a, b float64, xs []float32) bool {
+	if a == b { // want "floating-point == is exact"
+		return true
+	}
+	if a != b { // want "floating-point != is exact"
+		return false
+	}
+	if a == 0 { // ok: exact-zero guard idiom
+		return false
+	}
+	if 0.0 != b { // ok: exact-zero guard idiom
+		return false
+	}
+	if xs[0] == xs[1] { // want "floating-point == is exact"
+		return true
+	}
+	const c1, c2 = 1.5, 2.5
+	if c1 == c2 { // ok: constants fold at compile time
+		return true
+	}
+	// Integer equality is exact by nature and never reported.
+	i, j := 1, 2
+	return i == j
+}

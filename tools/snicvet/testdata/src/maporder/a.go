@@ -1,0 +1,85 @@
+// Fixture for the maporder analyzer: map iteration feeding an
+// order-sensitive sink is reported unless the collected slice is
+// sorted afterwards.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func badAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want "append to keys inside map iteration"
+	}
+	return keys
+}
+
+func goodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // ok: sorted below
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func goodSortIndirect(m map[int]string) []int {
+	ids := make([]int, 0, len(m))
+	for id := range m {
+		ids = append(ids, id) // ok: sorted below through a conversion
+	}
+	sort.Sort(sort.IntSlice(ids))
+	return ids
+}
+
+func badPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside map iteration emits"
+	}
+}
+
+func badWriter(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want "strings.Builder inside map iteration emits"
+	}
+}
+
+func badTestHelper(t *testing.T, m map[string]bool) {
+	for k := range m {
+		t.Errorf("missing %s", k) // want "testing.Errorf inside map iteration records"
+	}
+}
+
+func badTelemetry(rec *obs.Recorder, m map[string]float64) {
+	for k, v := range m {
+		rec.Count(k, v) // want "obs.Count inside map iteration records"
+	}
+}
+
+func goodLocalSlice(m map[string]int) {
+	for k := range m {
+		parts := make([]string, 0, 1)
+		parts = append(parts, k) // ok: slice scoped to one iteration
+		_ = parts
+	}
+}
+
+func goodCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // ok: order-independent reduction
+	}
+	return total
+}
+
+func goodSliceRange(xs []string) {
+	for _, x := range xs {
+		fmt.Println(x) // ok: slices iterate in order
+	}
+}

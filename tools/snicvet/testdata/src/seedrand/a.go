@@ -1,0 +1,30 @@
+// Fixture for the seedrand analyzer: math/rand in both versions is
+// forbidden, as is package-level sim.RNG state; a component-embedded
+// RNG is the approved pattern.
+package seedrand
+
+import (
+	"math/rand"           // want "import of math/rand is forbidden"
+	randv2 "math/rand/v2" // want "import of math/rand/v2 is forbidden"
+
+	"repro/internal/sim"
+)
+
+var _ = rand.Int()
+var _ = randv2.IntN(3)
+
+var globalRNG = sim.NewRNG(1) // want "package-level RNG globalRNG is a shared stream"
+
+var pool sim.RNG // want "package-level RNG pool is a shared stream"
+
+// component embeds its RNG, forked from the run seed by its parent:
+// this is the approved pattern and must not be reported.
+type component struct {
+	rng *sim.RNG
+}
+
+func (c *component) draw() uint64 { return c.rng.Uint64() }
+
+func newComponent(parent *sim.RNG) *component {
+	return &component{rng: parent.Fork(7)}
+}

@@ -1,0 +1,27 @@
+// Fixture for suppression directives: a directive on the offending
+// line or the line above silences the named analyzers (or "all"), and
+// naming the wrong analyzer silences nothing.
+package suppress
+
+import "time"
+
+func directives(a, b float64) bool {
+	_ = time.Now() //snicvet:ignore wallclock calibration harness measures host setup overhead here
+
+	//snicvet:ignore floateq golden value is assigned verbatim upstream, never computed
+	eq := a == b
+
+	//snicvet:ignore wallclock,floateq calibration row exercises both invariants deliberately
+	both := a == b || time.Now().IsZero()
+
+	//snicvet:ignore all calibration-only block
+	all := a == b || time.Now().IsZero()
+
+	_ = time.Now() //snicvet:ignore floateq naming the wrong analyzer suppresses nothing; want "time.Now reads the wall clock"
+
+	if a == b { // want "floating-point == is exact"
+		return both
+	}
+	_ = time.Now() // want "time.Now reads the wall clock"
+	return eq || all
+}

@@ -1,0 +1,43 @@
+// Fixture for the unitcheck analyzer: identifiers carry their unit in
+// a suffix, and mixing suffixes without an explicit conversion is
+// reported, as are bare non-zero literals for unit-suffixed parameters.
+package unitcheck
+
+func takeNs(durNs int64) { _ = durNs }
+
+func copyBytes(nBytes int64) { _ = nBytes }
+
+func setRate(rateGBps float64) { _ = rateGBps }
+
+func process(latencyNs, budgetUs, rxCycles int64) {
+	var waitNs int64
+	waitNs = budgetUs // want "assignment mixes units Ns and Us .different scales"
+	_ = waitNs
+
+	if latencyNs > budgetUs { // want "> mixes units Ns and Us"
+		return
+	}
+	if latencyNs > rxCycles { // want "> mixes units Ns and Cycles .different physical quantities"
+		return
+	}
+	_ = latencyNs + budgetUs // want ". mixes units Ns and Us"
+
+	takeNs(budgetUs)  // want "argument budgetUs has unit Us but parameter durNs wants Ns"
+	takeNs(1500)      // want "bare literal 1500 passed to unit-suffixed parameter durNs"
+	takeNs(0)         // ok: zero is a sentinel, not a measurement
+	takeNs(latencyNs) // ok: units agree
+
+	sizeKB := int64(4)
+	copyBytes(sizeKB) // want "argument sizeKB has unit KB but parameter nBytes wants Bytes .different scales"
+
+	gbps := 12.5
+	setRate(gbps) // want "argument gbps has unit Gbps but parameter rateGBps wants GBps .different scales"
+
+	// Multiplication and division change units by design.
+	scaledNs := budgetUs * 1000
+	_ = scaledNs
+
+	// Unsuffixed identifiers carry no unit and are never reported.
+	plain := latencyNs
+	_ = plain
+}

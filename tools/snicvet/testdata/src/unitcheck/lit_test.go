@@ -1,0 +1,9 @@
+// The bare-literal rule is off in _test.go files: tests pin literal
+// scenario values constantly and the suffix mix rules still apply.
+package unitcheck
+
+func fromTest(latencyNs, budgetUs int64) {
+	takeNs(1500)      // ok: bare literals are allowed in tests
+	takeNs(budgetUs)  // want "argument budgetUs has unit Us but parameter durNs wants Ns"
+	takeNs(latencyNs) // ok
+}

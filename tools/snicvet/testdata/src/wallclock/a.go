@@ -1,0 +1,23 @@
+// Fixture for the wallclock analyzer: host-clock reads are forbidden,
+// pure time.Duration plumbing is not.
+package wallclock
+
+import "time"
+
+func bad() {
+	_ = time.Now()                 // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond)   // want "time.Sleep reads the wall clock"
+	_ = time.Since(time.Time{})    // want "time.Since reads the wall clock"
+	_ = time.After(time.Second)    // want "time.After reads the wall clock"
+	_ = time.Tick(time.Second)     // want "time.Tick reads the wall clock"
+	_ = time.NewTicker(time.Hour)  // want "time.NewTicker reads the wall clock"
+	_ = time.NewTimer(time.Hour)   // want "time.NewTimer reads the wall clock"
+	_ = time.Until(time.Time{})    // want "time.Until reads the wall clock"
+	time.AfterFunc(time.Hour, bad) // want "time.AfterFunc reads the wall clock"
+}
+
+func good() string {
+	// Duration conversion and formatting carry no host-time dependence.
+	var d time.Duration = 3 * time.Millisecond
+	return d.String()
+}
