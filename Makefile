@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet lint race bench bench-compare faults trace-determinism
+.PHONY: verify build test vet lint race bench bench-compare faults trace-determinism check fuzz-smoke
 
 # Tier-1 verification: everything CI and reviewers gate on.
 verify: vet build race lint
@@ -41,6 +41,31 @@ bench-compare:
 # Regenerate the fault-scenario experiment family.
 faults:
 	$(GO) run ./cmd/snicbench -exp faults
+
+# Checked execution: every experiment family under online invariant
+# validation (request/byte conservation, causality, clock monotonicity,
+# queue sanity). Any broken law panics with a typed violation, so a
+# clean exit is the assertion.
+check: bin/snicbench
+	for e in fig4 fig5 table4 faults fleet; do \
+		echo "checked: $$e"; \
+		./bin/snicbench -exp $$e -check -q > /dev/null || exit 1; \
+	done
+	@echo "checked execution: OK"
+
+bin/snicbench: FORCE
+	$(GO) build -o bin/snicbench ./cmd/snicbench
+
+# Short-budget native fuzzing over the property layer: the engine
+# scheduler, the fault-plan validator, the fleet dispatcher and the
+# checked end-to-end runner. FUZZTIME bounds each target's budget so the
+# smoke fits CI; run with a bigger FUZZTIME locally to dig.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzEngineSchedule$$' -fuzztime $(FUZZTIME) ./internal/sim
+	$(GO) test -run '^$$' -fuzz '^FuzzPlanValidate$$' -fuzztime $(FUZZTIME) ./internal/fault
+	$(GO) test -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime $(FUZZTIME) ./internal/fleet
+	$(GO) test -run '^$$' -fuzz '^FuzzCheckedRun$$' -fuzztime $(FUZZTIME) ./internal/core
 
 # Telemetry exports must be byte-identical at every parallelism: run the
 # same experiment sequentially and fully parallel and diff the traces.

@@ -22,6 +22,11 @@
 // machine's CPU count). Results are merged in submission order, so the
 // output is byte-identical at every -j; progress goes to stderr only.
 //
+// -check runs every simulation in checked-execution mode: conservation,
+// causality, clock-monotonicity and queue-sanity invariants are
+// validated online and the process panics with a typed violation the
+// moment one breaks. Output is identical with or without -check.
+//
 // Telemetry flags record every simulated run and export after the
 // experiments finish; the exports are byte-identical at every -j too:
 //
@@ -63,11 +68,12 @@ func main() {
 	fn := flag.String("func", "", "restrict fig4/fig6 to one function (e.g. redis)")
 	jobs := flag.Int("j", runtime.NumCPU(), "parallel simulations (output is identical at every -j)")
 	quiet := flag.Bool("q", false, "suppress the stderr progress line")
+	check := flag.Bool("check", false, "checked execution: validate conservation/causality invariants online (panics on first violation)")
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of every simulated run to this file")
 	metricsOut := flag.String("metrics", "", "write sampled metrics to this file (.json for JSON, otherwise CSV)")
 	manifestOut := flag.String("manifest", "", "write per-run telemetry manifests (JSON) to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: snicbench [-exp NAME] [-func FN] [-j N] [-q] [-trace F] [-metrics F] [-manifest F]\n\nexperiments:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: snicbench [-exp NAME] [-func FN] [-j N] [-q] [-check] [-trace F] [-metrics F] [-manifest F]\n\nexperiments:\n")
 		for _, e := range validExps {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %s\n", e)
 		}
@@ -77,6 +83,9 @@ func main() {
 	flag.Parse()
 
 	opts := []snic.Option{snic.WithParallelism(*jobs)}
+	if *check {
+		opts = append(opts, snic.WithInvariantChecks())
+	}
 	var prog *progressLine
 	if !*quiet {
 		prog = &progressLine{}

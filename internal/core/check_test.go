@@ -1,0 +1,132 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestReplayTraceConservation is the pre-checker conservation unit test:
+// the replay's own counters must balance at drain, with or without
+// checked mode.
+func TestReplayTraceConservation(t *testing.T) {
+	cfg, _ := Lookup("rem", "file_executable")
+	tr := faultTestTrace()
+	for _, checks := range []bool{false, true} {
+		r := NewRunner()
+		r.Checks = checks
+		res := r.ReplayTrace(cfg, SNICCPU, tr, 7)
+		if res.Sent == 0 {
+			t.Fatalf("checks=%v: replay sent nothing", checks)
+		}
+		if res.Sent != res.Completed+res.Dropped {
+			t.Fatalf("checks=%v: sent %d != completed %d + dropped %d",
+				checks, res.Sent, res.Completed, res.Dropped)
+		}
+	}
+}
+
+// TestReplayServerConservation covers the fleet path's per-server
+// request accounting the same way.
+func TestReplayServerConservation(t *testing.T) {
+	cfg, _ := Lookup("rem", "file_executable")
+	rates := []float64{1.5, 2, 0.5, 3}
+	for _, checks := range []bool{false, true} {
+		r := NewRunner()
+		r.Checks = checks
+		rep := r.ReplayServer(cfg, HostCPU, rates, 400*sim.Microsecond, 5, "grp")
+		if rep.Sent == 0 {
+			t.Fatalf("checks=%v: server replay sent nothing", checks)
+		}
+		if rep.Sent != rep.Completed+rep.Dropped {
+			t.Fatalf("checks=%v: sent %d != completed %d + dropped %d",
+				checks, rep.Sent, rep.Completed, rep.Dropped)
+		}
+	}
+}
+
+// TestCheckedRunMatchesUnchecked runs one representative config of every
+// run mode under checked execution: the checker must stay silent (no
+// panic) and, being a pure observer, must not perturb the measurement.
+func TestCheckedRunMatchesUnchecked(t *testing.T) {
+	cases := []struct {
+		function, variant string
+		plat              Platform
+	}{
+		{"udp-echo", "1024B", HostCPU},   // net-served, host
+		{"udp-echo", "1024B", SNICCPU},   // net-served, SNIC cores
+		{"redis", "workload_a", SNICCPU}, // closed-loop net-served
+		{"compress", "app", SNICAccel},   // accelerator sink (staging pool)
+		{"crypto", "aes", SNICAccel},     // local mode onto the PKA engine
+		{"crypto", "sha1", HostCPU},      // local mode, host rate path
+		{"fio", "read", SNICCPU},         // storage mode
+		{"ovs", "load100", SNICCPU},      // eSwitch-forwarded mode
+	}
+	for _, tc := range cases {
+		t.Run(tc.function+"/"+tc.variant+"@"+string(tc.plat), func(t *testing.T) {
+			cfg, err := Lookup(tc.function, tc.variant)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := probeOpts(11)
+			opts.OfferedGbps = 0.5
+			plain := NewRunner()
+			base := plain.Run(cfg, tc.plat, opts)
+			checked := NewRunner()
+			checked.Checks = true
+			got := checked.Run(cfg, tc.plat, opts)
+			if got != base {
+				t.Fatalf("checked run diverged from unchecked:\n  base: %+v\n  got:  %+v", base, got)
+			}
+		})
+	}
+}
+
+// Overload sheds requests at the queue; the ledger must account every
+// one of them (a silent shed would trip Finish).
+func TestCheckedOverloadAccountsSheds(t *testing.T) {
+	cfg, _ := Lookup("udp-echo", "64B")
+	r := NewRunner()
+	r.Checks = true
+	opts := probeOpts(3)
+	opts.OfferedGbps = 2.0 // far beyond host capacity
+	m := r.Run(cfg, HostCPU, opts)
+	if m.DeliveredFrac > 0.9 {
+		t.Fatalf("overload delivered %v — shedding never happened, test is vacuous", m.DeliveredFrac)
+	}
+}
+
+// TestCheckedFaultedRuns puts every stock fault scenario through checked
+// execution: crash failover, flap retries and throttle re-routing all
+// keep the conservation ledger balanced (with straggler spans allowed).
+func TestCheckedFaultedRuns(t *testing.T) {
+	tr := faultTestTrace()
+	scns := DefaultFaultScenarios(tr.Duration())
+	plain := NewRunner()
+	checked := NewRunner()
+	checked.Checks = true
+	for _, scn := range append([]FaultScenario{{Name: "baseline"}}, scns...) {
+		base := plain.RunFaulted(scn, testRouter(), tr, 2, 42)
+		got := checked.RunFaulted(scn, testRouter(), tr, 2, 42)
+		if got != base {
+			t.Fatalf("%s: checked faulted run diverged:\n  base: %+v\n  got:  %+v", scn.Name, base, got)
+		}
+		if got.Total != got.Completed+got.Dropped {
+			t.Fatalf("%s: total %d != completed %d + dropped %d",
+				scn.Name, got.Total, got.Completed, got.Dropped)
+		}
+	}
+}
+
+// A malformed plan must be rejected before anything is armed.
+func TestRunFaultedRejectsInvalidPlan(t *testing.T) {
+	tr := faultTestTrace()
+	scn := DefaultFaultScenarios(tr.Duration())[0]
+	scn.Plan.Events[0].For = -1
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid plan was armed")
+		}
+	}()
+	NewRunner().RunFaulted(scn, testRouter(), tr, 2, 42)
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+)
+
+// TestCheckedRandomSweepDeterministic draws a seeded random sweep over
+// the catalog — random config, platform, rate and seed per point — and
+// runs it under checked execution at parallelism 1 and 4. It asserts
+// only the invariants (the checker panics on any broken law) plus
+// byte-identical results across parallelism: no golden values, so the
+// sweep survives any recalibration.
+func TestCheckedRandomSweepDeterministic(t *testing.T) {
+	rng := sim.NewRNG(2026)
+	catalog := Catalog()
+	type point struct {
+		cfg  *Config
+		plat Platform
+		opts RunOpts
+	}
+	var sweep []point
+	for len(sweep) < 10 {
+		cfg := catalog[rng.Intn(len(catalog))]
+		plat := cfg.Platforms[rng.Intn(len(cfg.Platforms))]
+		sweep = append(sweep, point{
+			cfg:  cfg,
+			plat: plat,
+			opts: RunOpts{
+				Requests:    800 + rng.Intn(800),
+				WarmupFrac:  0.1,
+				Seed:        rng.Uint64n(1 << 16),
+				OfferedGbps: 0.1 + float64(rng.Intn(30))/10, // 0.1 .. 3.0, into overload
+			},
+		})
+	}
+	run := func(par int) []Measurement {
+		r := NewRunner()
+		r.Checks = true
+		r.Parallelism = par
+		out := make([]Measurement, len(sweep))
+		r.ForEach(len(sweep), func(i int) {
+			p := sweep[i]
+			out[i] = r.Run(p.cfg, p.plat, p.opts)
+		})
+		return out
+	}
+	seq := run(1)
+	par := run(4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("sweep point %d (%s/%s on %s) differs at -j1 vs -j4:\n  j1: %+v\n  j4: %+v",
+				i, sweep[i].cfg.Function, sweep[i].cfg.Variant, sweep[i].plat, seq[i], par[i])
+		}
+	}
+}
+
+// TestCheckedRandomFaultSweep soaks the failover machinery with seeded
+// random fault plans — arbitrary mixes of crashes, stalls, degradations,
+// flaps, throttles and sensor dropouts against the real registry targets
+// — under checked execution, again asserting only invariants and
+// -j1 == -j4 bit-identity (FaultResult is comparable).
+func TestCheckedRandomFaultSweep(t *testing.T) {
+	tr := faultTestTrace()
+	var scns []FaultScenario
+	for seed := uint64(1); seed <= 6; seed++ {
+		plan := fault.NewRandomPlan(fault.RandomPlanConfig{
+			Seed:      seed,
+			Horizon:   tr.Duration(),
+			Events:    4,
+			MaxWindow: tr.Duration() / 8,
+			Engines:   []string{"rem", "deflate", "pka"},
+			Links:     []string{"wire"},
+			Pools:     []string{"host", "snic", "staging"},
+			Sensors:   []string{"bmc", "yoctowatt"},
+		})
+		scns = append(scns, FaultScenario{
+			Name: fmt.Sprintf("random-%d", seed),
+			Desc: "seeded random soak plan",
+			Plan: plan,
+		})
+	}
+	run := func(par int) []FaultResult {
+		r := NewRunner()
+		r.Checks = true
+		r.Parallelism = par
+		return r.RunFaultedSet(scns, testRouter, tr, 2, 42)
+	}
+	seq := run(1)
+	par := run(4)
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Fatalf("scenario %s differs at -j1 vs -j4:\n  j1: %+v\n  j4: %+v",
+				seq[i].Scenario, seq[i], par[i])
+		}
+		if seq[i].Total != seq[i].Completed+seq[i].Dropped {
+			t.Fatalf("scenario %s: total %d != completed %d + dropped %d",
+				seq[i].Scenario, seq[i].Total, seq[i].Completed, seq[i].Dropped)
+		}
+	}
+}

@@ -145,6 +145,11 @@ type TraceReplayResult struct {
 	P99         sim.Duration
 	AvgPowerW   float64
 	Dropped     uint64
+	// Sent and Completed expose the replay's request accounting so
+	// conservation (Sent == Completed + Dropped at drain) is testable
+	// without telemetry.
+	Sent      uint64
+	Completed uint64
 }
 
 func (t TraceReplayResult) String() string {
@@ -240,7 +245,8 @@ func (r *Runner) replayTrace(cfg *Config, plat Platform, tr *trace.HyperscalerTr
 	ctx.ep = netstack.NewEndpoint(tb.Eng, ctx.prof, ctx.pool, seed^0x77)
 
 	ctx.rec = r.newRecorder(rkey, rlabel)
-	instrumentTestbed(tb, ctx.rec)
+	ctx.chk = r.newChecker(rlabel)
+	instrumentTestbed(tb, ctx.rec, ctx.chk)
 
 	switch plat {
 	case HostCPU:
@@ -290,6 +296,7 @@ func (r *Runner) replayTrace(cfg *Config, plat Platform, tr *trace.HyperscalerTr
 				size := ctx.sizes.Next(ctx.jit)
 				pkt := &nic.Packet{Seq: uint64(ctx.sent), Size: size, SentAt: eng.Now(),
 					Span: uint32(ctx.openRequest())}
+				ctx.noteInject(pkt.Seq, size)
 				tb.Wire.SendToServer(pkt, tb.Sw.Ingress)
 				eng.After(ctx.arrivals.Gap(size, rate*1e9), submit)
 			} else {
@@ -301,9 +308,11 @@ func (r *Runner) replayTrace(cfg *Config, plat Platform, tr *trace.HyperscalerTr
 	eng.At(0, func() { runInterval(0) })
 	eng.Run()
 	ctx.finishEngineUtil()
+	r.finishChecks(ctx)
 	r.finishRecorder(ctx)
 
-	res := TraceReplayResult{Platform: plat, P99: ctx.hist.P99(), Dropped: ctx.pool.Dropped()}
+	res := TraceReplayResult{Platform: plat, P99: ctx.hist.P99(), Dropped: ctx.pool.Dropped(),
+		Sent: uint64(ctx.sent), Completed: uint64(ctx.done)}
 	if ctx.meter != nil {
 		ctx.meter.Close(ctx.lastSend)
 		res.AvgTputGbps = ctx.meter.Gbps()

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/netstack"
 	"repro/internal/nic"
 	"repro/internal/obs"
@@ -235,7 +236,6 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 		AddPool("staging", staging).
 		AddSensor("bmc", tb.BMC).
 		AddSensor("yoctowatt", tb.YoctoWatt)
-	flog := scn.Plan.Arm(eng, reg, nil)
 	faultStart := scn.Plan.Start()
 	faultEnd := scn.Plan.End()
 	// Requests sent while the policy may still be repairing fault-era
@@ -243,6 +243,20 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 	// the fault population; the post population starts once the policy's
 	// own worst-case schedule has provably run out.
 	settleEnd := faultEnd.Add(pol.MaxDelay())
+	// The run horizon: trace span (or the last fault window, whichever is
+	// later) plus a drain long enough for every retry chain to resolve.
+	// Computed before Arm so the plan can be validated against it — a
+	// malformed plan must die here, not half-armed on the engine.
+	span := tr.Duration()
+	horizon := sim.Time(span)
+	if faultEnd > horizon {
+		horizon = faultEnd
+	}
+	horizon = horizon.Add(100*sim.Millisecond + pol.MaxDelay())
+	if err := scn.Plan.Validate(horizon); err != nil {
+		panic(err)
+	}
+	flog := scn.Plan.Arm(eng, reg, nil)
 
 	hostProf := netstack.ByKind(netstack.KindDPDK)
 	respSize := cfg.RespSize
@@ -265,6 +279,7 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 	var nextSeq uint64
 
 	rec := r.newRecorder(rkey, rlabel)
+	chk := r.newChecker(rlabel)
 	stage := func(root obs.SpanID, name string, start, end sim.Time) {
 		if root != 0 {
 			rec.Span(obs.TrackRequests, name, root, start, end)
@@ -300,6 +315,7 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 		eng.Cancel(f.guard)
 		delete(inflight, f.seq)
 		completed++
+		chk.Complete(f.seq, f.size, eng.Now())
 		lat := eng.Now().Sub(f.firstSent)
 		histAll.Record(lat)
 		switch {
@@ -386,7 +402,7 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 	})
 	rec.Gauge("failover/inflight", "reqs", 0, func() float64 { return float64(len(inflight)) })
 	rec.Gauge("failover/backlog", "tasks", 0, func() float64 { return float64(backlog()) })
-	instrumentTestbed(tb, rec)
+	instrumentTestbed(tb, rec, chk)
 
 	tb.Sw.Program(func(*nic.Packet) nic.Destination {
 		bl := backlogView
@@ -416,6 +432,7 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 			f.done = true
 			rec.Close(f.span, eng.Now())
 			delete(inflight, f.seq)
+			chk.Drop(f.seq, f.size, eng.Now())
 			return
 		}
 		eng.After(pol.Backoff(f.attempts), func() {
@@ -457,6 +474,7 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 				f.span = rec.Open(obs.TrackRequests, spanRequest, eng.Now())
 				nextSeq++
 				inflight[f.seq] = f
+				chk.Inject(f.seq, f.size, eng.Now())
 				sentBytes[intervalOf(f.firstSent)] += float64(nicMTU)
 				send(f)
 				eng.After(arrivals.Gap(nicMTU, rate*1e9), submit)
@@ -468,15 +486,8 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 	}
 	eng.At(0, func() { runInterval(0) })
 
-	// The software monitor reschedules itself indefinitely, so run to a
-	// horizon: trace span (or the last fault window, whichever is later)
-	// plus a drain long enough for every retry chain to resolve.
-	span := tr.Duration()
-	horizon := sim.Time(span)
-	if faultEnd > horizon {
-		horizon = faultEnd
-	}
-	horizon = horizon.Add(100*sim.Millisecond + pol.MaxDelay())
+	// The software monitor reschedules itself indefinitely, so RunUntil
+	// the precomputed horizon rather than Run to drain.
 	// Sensors always run during fault replays: a SensorDropout plan needs a
 	// live trace to carve its gap into, and the report surfaces how many
 	// samples the gap swallowed.
@@ -510,8 +521,21 @@ func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.Hyper
 	for _, seq := range pending {
 		dropped++
 		rec.Close(inflight[seq].span, eng.Now())
+		chk.Drop(seq, inflight[seq].size, eng.Now())
 	}
 	res.Dropped = dropped
+	if chk != nil {
+		chk.VerifyCounts(total, completed, eng.Now())
+		if err := chk.Finish(eng.Now()); err != nil {
+			panic(err)
+		}
+		// Stragglers are legal here: a request abandoned at its retry
+		// timeout closes its root span while the stale in-service copy
+		// still records a child afterwards.
+		if err := invariant.CheckSpans(rec, invariant.SpanCheckOpts{AllowStragglers: true}); err != nil {
+			panic(err)
+		}
+	}
 	if served := hostServed + snicServed; served > 0 {
 		res.HostShare = float64(hostServed) / float64(served)
 	}

@@ -101,7 +101,8 @@ func (r *Runner) replayServer(cfg *Config, plat Platform, rates []float64, inter
 	ctx.ep = netstack.NewEndpoint(tb.Eng, ctx.prof, ctx.pool, seed^0x77)
 
 	ctx.rec = r.newRecorder(key, label)
-	instrumentTestbed(tb, ctx.rec)
+	ctx.chk = r.newChecker(label)
+	instrumentTestbed(tb, ctx.rec, ctx.chk)
 
 	switch plat {
 	case HostCPU:
@@ -150,6 +151,7 @@ func (r *Runner) replayServer(cfg *Config, plat Platform, rates []float64, inter
 				size := ctx.sizes.Next(ctx.jit)
 				pkt := &nic.Packet{Seq: uint64(ctx.sent), Size: size, SentAt: eng.Now(),
 					Span: uint32(ctx.openRequest())}
+				ctx.noteInject(pkt.Seq, size)
 				tb.Wire.SendToServer(pkt, tb.Sw.Ingress)
 				eng.After(ctx.arrivals.Gap(size, rate*1e9), submit)
 			} else {
@@ -161,6 +163,7 @@ func (r *Runner) replayServer(cfg *Config, plat Platform, rates []float64, inter
 	eng.At(0, func() { runInterval(0) })
 	eng.Run()
 	ctx.finishEngineUtil()
+	r.finishChecks(ctx)
 	r.finishRecorder(ctx)
 
 	var offered float64

@@ -102,6 +102,11 @@ func funcNAT(rep FunctionalReport, variant string, n int, seed uint64) (Function
 		entries = 1_000_000
 	}
 	tbl := nat.GenerateTable(entries, seed)
+	// The generated table must be a bijection before any packet crosses
+	// it; a broken reverse map would surface as phantom rewrite failures.
+	if err := tbl.Validate(); err != nil {
+		return rep, err
+	}
 	pubs := tbl.SomePublic(min(n, entries), 0)
 	for i := 0; i < n; i++ {
 		pub := pubs[i%len(pubs)]

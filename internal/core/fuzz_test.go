@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+)
+
+// FuzzCheckedRun is the config fuzzer: arbitrary (catalog entry,
+// platform, offered rate, seed) tuples run end to end under checked
+// execution. It asserts no behaviour at all beyond the physical laws —
+// the checker panics on any conservation, causality, clock or queue
+// violation, and Finish panics if the run drains with requests
+// unaccounted. Everything else (throughput, tails, power) is free to
+// vary with the inputs.
+func FuzzCheckedRun(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint16(10), uint64(1))
+	f.Add(uint8(7), uint8(1), uint16(300), uint64(99))
+	f.Add(uint8(255), uint8(2), uint16(0), uint64(12345))
+
+	f.Fuzz(func(t *testing.T, ci, pi uint8, rate uint16, seed uint64) {
+		catalog := Catalog()
+		cfg := catalog[int(ci)%len(catalog)]
+		plat := cfg.Platforms[int(pi)%len(cfg.Platforms)]
+		r := NewRunner()
+		r.Checks = true
+		opts := RunOpts{
+			Requests:   300,
+			WarmupFrac: 0.1,
+			Seed:       seed,
+			// 0.05 .. ~4.1 Gb/s: spans idle through deep overload.
+			OfferedGbps: 0.05 + float64(rate%410)/100,
+		}
+		m := r.Run(cfg, plat, opts)
+		if m.TputGbps < 0 || m.ServerPowerW < 0 {
+			t.Fatalf("negative measurement: %+v", m)
+		}
+		// Closed-loop modes ignore the offered rate, so the delivered
+		// fraction is meaningful (≈ bounded by 1) only for open-loop
+		// runs; window edge effects can push it a hair over.
+		if m.DeliveredFrac < 0 {
+			t.Fatalf("negative delivered fraction %v", m.DeliveredFrac)
+		}
+		if cfg.Closed == 0 && cfg.Mode == ModeNetServe && m.DeliveredFrac > 1.5 {
+			t.Fatalf("open-loop delivered fraction %v implausible", m.DeliveredFrac)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/accel"
 	"repro/internal/cpu"
+	"repro/internal/invariant"
 	"repro/internal/netstack"
 	"repro/internal/nic"
 	"repro/internal/obs"
@@ -92,6 +93,12 @@ type Runner struct {
 	// exported deterministically at any parallelism. Nil disables all
 	// recording (the default); see snic.WithTelemetry.
 	Telemetry *obs.Collector
+	// Checks enables checked execution: every simulation gets a per-run
+	// invariant.Checker that validates conservation, causality, clock
+	// monotonicity and queue sanity online and panics with a typed
+	// *invariant.Violation on the first broken law. Off by default; see
+	// snic.WithInvariantChecks and internal/invariant.
+	Checks bool
 
 	cache  measureCache
 	sims   atomic.Uint64
@@ -136,6 +143,8 @@ type runctx struct {
 
 	// rec is the run's telemetry recorder; nil when telemetry is off.
 	rec *obs.Recorder
+	// chk is the run's invariant checker; nil when checks are off.
+	chk *invariant.Checker
 }
 
 // noteSent records a request issue; at the final request it arranges the
@@ -205,7 +214,8 @@ func (r *Runner) simulate(cfg *Config, plat Platform, opts RunOpts) Measurement 
 	ctx.ep = netstack.NewEndpoint(tb.Eng, ctx.prof, ctx.pool, seed^0x77)
 
 	ctx.rec = r.newRecorder(runKey(cfg, plat, r.TBConfig, opts), runLabel(cfg, plat, opts))
-	instrumentTestbed(tb, ctx.rec)
+	ctx.chk = r.newChecker(runLabel(cfg, plat, opts))
+	instrumentTestbed(tb, ctx.rec, ctx.chk)
 
 	// Power bookkeeping: which pools are live, poll-mode pinning, and
 	// whether traffic crosses into host memory.
@@ -241,6 +251,7 @@ func (r *Runner) simulate(cfg *Config, plat Platform, opts RunOpts) Measurement 
 	default:
 		panic(fmt.Sprintf("core: unknown mode %q", cfg.Mode))
 	}
+	r.finishChecks(ctx)
 	r.finishRecorder(ctx)
 	return ctx.measurement()
 }
@@ -338,6 +349,7 @@ func (ctx *runctx) runNetServe() {
 		size := ctx.sizes.Next(ctx.jit)
 		pkt := &nic.Packet{Seq: uint64(ctx.sent), Size: size, SentAt: eng.Now(),
 			Span: uint32(ctx.openRequest())}
+		ctx.noteInject(pkt.Seq, size)
 		ctx.reqBytesSent += uint64(size)
 		ctx.tb.Wire.SendToServer(pkt, ctx.tb.Sw.Ingress)
 		eng.After(ctx.arrivals.Gap(size, ctx.opts.OfferedGbps*1e9), submit)
@@ -360,7 +372,7 @@ func (ctx *runctx) cpuSink(pkt *nic.Packet) {
 	eng.After(inFixed, func() {
 		enq := eng.Now()
 		ctx.stage(root, spanStackRx, rxDone, enq)
-		ctx.pool.ExecDuration(svc, func(s, e sim.Time) {
+		ok := ctx.pool.ExecDuration(svc, func(s, e sim.Time) {
 			if root != 0 && s > enq {
 				ctx.stage(root, spanQueue, enq, s)
 			}
@@ -371,10 +383,14 @@ func (ctx *runctx) cpuSink(pkt *nic.Packet) {
 				ctx.tb.Wire.SendToClient(resp, func(p *nic.Packet) {
 					ctx.stage(root, spanReturn, txAt, eng.Now())
 					ctx.closeRequest(root)
+					ctx.noteComplete(pkt.Seq, pkt.Size)
 					ctx.record(eng.Now().Sub(p.SentAt), pkt.Size)
 				})
 			})
 		})
+		if !ok {
+			ctx.noteDrop(pkt.Seq, pkt.Size)
+		}
 	})
 }
 
@@ -392,7 +408,7 @@ func (ctx *runctx) accelSink(pkt *nic.Packet) {
 	stageCycles := (ctx.prof.RxCycles(spec.Arch, pkt.Size) +
 		accel.StagingCyclesPerTask + accel.StagingCyclesPerByte*float64(pkt.Size) + 100)
 	stageSvc := ctx.jit.LogNormalDur(sim.Cycles(stageCycles/spec.IPC, spec.BaseHz), 0.15)
-	ctx.pool.ExecDuration(stageSvc, func(s, e sim.Time) {
+	ok := ctx.pool.ExecDuration(stageSvc, func(s, e sim.Time) {
 		if root != 0 && s > arrive {
 			ctx.stage(root, spanQueue, arrive, s)
 		}
@@ -405,11 +421,15 @@ func (ctx *runctx) accelSink(pkt *nic.Packet) {
 				ctx.tb.Wire.SendToClient(resp, func(p *nic.Packet) {
 					ctx.stage(root, spanReturn, txAt, eng.Now())
 					ctx.closeRequest(root)
+					ctx.noteComplete(pkt.Seq, pkt.Size)
 					ctx.record(eng.Now().Sub(p.SentAt), pkt.Size)
 				})
 			})
 		})
 	})
+	if !ok {
+		ctx.noteDrop(pkt.Seq, pkt.Size)
+	}
 }
 
 // engineSubmit dispatches one task to the config's engine; done receives
@@ -461,30 +481,37 @@ func (ctx *runctx) runLocal() {
 			return
 		}
 		ctx.sent++
+		seq := uint64(ctx.sent)
 		start := eng.Now()
 		root := ctx.openRequest()
+		ctx.noteInject(seq, size)
 		finish := func() {
 			ctx.closeRequest(root)
+			ctx.noteComplete(seq, size)
 			ctx.record(eng.Now().Sub(start), size)
 			worker()
 		}
 		switch ctx.plat {
 		case HostCPU, SNICCPU:
-			ctx.pool.ExecDuration(ctx.localSvcTime(size), func(s, e sim.Time) {
+			if !ctx.pool.ExecDuration(ctx.localSvcTime(size), func(s, e sim.Time) {
 				ctx.stage(root, spanService, s, e)
 				finish()
-			})
+			}) {
+				ctx.noteDrop(seq, size)
+			}
 		case SNICAccel:
 			// One staging core programs the engine's command registers.
 			spec := ctx.tb.SNICSpec
 			prep := sim.Cycles(400/spec.IPC, spec.BaseHz)
-			ctx.pool.ExecDuration(prep, func(s, e sim.Time) {
+			if !ctx.pool.ExecDuration(prep, func(s, e sim.Time) {
 				ctx.stage(root, spanStaging, s, e)
 				ctx.engineSubmit(size, func(es, ee sim.Time) {
 					ctx.stage(root, spanEngine, es, ee)
 					finish()
 				})
-			})
+			}) {
+				ctx.noteDrop(seq, size)
+			}
 		}
 	}
 	for i := 0; i < ctx.closedDepth(); i++ {
@@ -541,11 +568,11 @@ func (ctx *runctx) runStorage() {
 	deviceLat := 9 * sim.Microsecond
 	spec := ctx.tb.SpecFor(ctx.plat)
 
-	serveIO := func(start sim.Time, root obs.SpanID) {
+	serveIO := func(start sim.Time, root obs.SpanID, seq uint64) {
 		// Initiator CPU posts the command.
 		post := ctx.jit.LogNormalDur(
 			sim.Cycles(ctx.appCycles(ctx.cfg.ReqSize)/spec.IPC, spec.BaseHz), 0.15)
-		ctx.pool.ExecDuration(post, func(s, e sim.Time) {
+		ok := ctx.pool.ExecDuration(post, func(s, e sim.Time) {
 			ctx.stage(root, spanService, s, e)
 			fixed := ctx.ep.FixedDelay() + ctx.extraLatency()
 			eng.After(fixed, func() {
@@ -566,15 +593,21 @@ func (ctx *runctx) runStorage() {
 							ctx.stage(root, spanReturn, dataAt, eng.Now())
 							// Completion interrupt/poll on the initiator.
 							comp := sim.Cycles(600/spec.IPC, spec.BaseHz)
-							ctx.pool.ExecDuration(comp, func(_, _ sim.Time) {
+							if !ctx.pool.ExecDuration(comp, func(_, _ sim.Time) {
 								ctx.closeRequest(root)
+								ctx.noteComplete(seq, block)
 								ctx.record(eng.Now().Sub(p.SentAt), block)
-							})
+							}) {
+								ctx.noteDrop(seq, block)
+							}
 						})
 					})
 				})
 			})
 		})
+		if !ok {
+			ctx.noteDrop(seq, block)
+		}
 	}
 	var issue func()
 	issue = func() {
@@ -582,7 +615,9 @@ func (ctx *runctx) runStorage() {
 			return
 		}
 		ctx.noteSent()
-		serveIO(eng.Now(), ctx.openRequest())
+		seq := uint64(ctx.sent)
+		ctx.noteInject(seq, block)
+		serveIO(eng.Now(), ctx.openRequest(), seq)
 		eng.After(ctx.arrivals.Gap(block, ctx.opts.OfferedGbps*1e9), issue)
 	}
 	eng.At(0, issue)
@@ -602,8 +637,10 @@ func (ctx *runctx) runSwitched() {
 			return
 		}
 		ctx.noteSent()
+		seq := uint64(ctx.sent)
 		size := ctx.cfg.ReqSize
-		pkt := &nic.Packet{Size: size, SentAt: eng.Now(), Span: uint32(ctx.openRequest())}
+		pkt := &nic.Packet{Seq: seq, Size: size, SentAt: eng.Now(), Span: uint32(ctx.openRequest())}
+		ctx.noteInject(seq, size)
 		ctx.tb.Wire.SendToServer(pkt, func(p *nic.Packet) {
 			root := obs.SpanID(p.Span)
 			// Hardware datapath: eSwitch forwards at line rate.
@@ -614,6 +651,7 @@ func (ctx *runctx) runSwitched() {
 				ctx.tb.Wire.SendToClient(resp, func(q *nic.Packet) {
 					ctx.stage(root, spanReturn, txAt, eng.Now())
 					ctx.closeRequest(root)
+					ctx.noteComplete(seq, size)
 					ctx.record(eng.Now().Sub(q.SentAt), size)
 				})
 			})

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/sim"
 )
@@ -47,24 +48,30 @@ func runLabel(cfg *Config, plat Platform, opts RunOpts) string {
 		cfg.Name(), plat, opts.OfferedGbps, opts.Requests, opts.Seed)
 }
 
-// instrumentTestbed installs the recorder as observer on every resource
-// and registers the standard gauge set, then starts the virtual-time
-// sampler. Pool/engine/link gauges sample at the 1 ms default; the
-// power gauges sample at their instrument's cadence (BMC 1 Hz,
-// Yocto-Watt 10 Hz) with the instrument's quantization, mirroring what
-// the paper's rig would have recorded.
-func instrumentTestbed(tb *Testbed, rec *obs.Recorder) {
+// instrumentTestbed installs the recorder and/or invariant checker as
+// observers on every resource, registers the standard gauge set and
+// starts the virtual-time sampler (telemetry only). Pool/engine/link
+// gauges sample at the 1 ms default; the power gauges sample at their
+// instrument's cadence (BMC 1 Hz, Yocto-Watt 10 Hz) with the
+// instrument's quantization, mirroring what the paper's rig would have
+// recorded.
+func instrumentTestbed(tb *Testbed, rec *obs.Recorder, chk *invariant.Checker) {
+	if rec == nil && chk == nil {
+		return
+	}
+	registerPools(tb, chk)
+	so := combineStations(rec, chk)
+	tb.HostPool.Instrument("pool/host", so)
+	tb.SNICPool.Instrument("pool/snic", so)
+	tb.StagingPool.Instrument("pool/staging", so)
+	tb.REM.Observe("engine/rem", so, combineBatches(rec, chk))
+	tb.Deflate.Observe("engine/deflate", so, combineBatches(rec, chk))
+	tb.PKA.Observe("engine/pka", so)
+	tb.Wire.Observe(combineLinks(rec, chk))
+	tb.Bus.Observe(combineLinks(rec, chk))
 	if rec == nil {
 		return
 	}
-	tb.HostPool.Instrument("pool/host", rec)
-	tb.SNICPool.Instrument("pool/snic", rec)
-	tb.StagingPool.Instrument("pool/staging", rec)
-	tb.REM.Observe("engine/rem", rec, rec)
-	tb.Deflate.Observe("engine/deflate", rec, rec)
-	tb.PKA.Observe("engine/pka", rec)
-	tb.Wire.Observe(rec)
-	tb.Bus.Observe(rec)
 
 	rec.Gauge("pool/host/queue", "jobs", 0, func() float64 { return float64(tb.HostPool.QueueLen()) })
 	rec.Gauge("pool/host/busy", "cores", 0, func() float64 { return float64(tb.HostPool.Busy()) })

@@ -151,6 +151,10 @@ func (p *Pool) ExecDuration(svc sim.Duration, done func(start, end sim.Time)) bo
 // Bounding it models NIC RX ring overrun shedding work before the cores.
 func (p *Pool) SetQueueCapacity(n int) { p.station.Capacity = n }
 
+// QueueCapacity returns the run-queue bound (zero = unbounded). The
+// invariant checker reads it to register exact occupancy limits.
+func (p *Pool) QueueCapacity() int { return p.station.Capacity }
+
 // Instrument installs a telemetry observer on the pool's station under
 // the given name. Observers are pure recorders (see sim.StationObserver).
 func (p *Pool) Instrument(name string, obs sim.StationObserver) {

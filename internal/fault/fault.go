@@ -359,7 +359,11 @@ type RandomPlanConfig struct {
 
 // NewRandomPlan draws a seeded fault plan: same config, same plan, byte
 // for byte. Soak tests use it to stress the failover machinery with
-// arbitrary-but-reproducible fault mixes.
+// arbitrary-but-reproducible fault mixes. Drawn plans always pass
+// Validate: windows of the same kind on the same target never overlap
+// (onsets are redrawn a bounded number of times; an unplaceable event is
+// skipped, so a saturated timeline may yield slightly fewer than
+// cfg.Events faults).
 func NewRandomPlan(cfg RandomPlanConfig) Plan {
 	if cfg.Events <= 0 || cfg.Horizon <= 0 {
 		panic("fault: random plan needs positive events and horizon")
@@ -391,7 +395,6 @@ func NewRandomPlan(cfg RandomPlanConfig) Plan {
 	for i := 0; i < cfg.Events; i++ {
 		k := kinds[r.Intn(len(kinds))]
 		ev := Event{
-			At:   sim.Time(r.Uint64n(uint64(cfg.Horizon))),
 			For:  1 + sim.Duration(r.Uint64n(uint64(cfg.MaxWindow))),
 			Kind: k,
 		}
@@ -405,11 +408,29 @@ func NewRandomPlan(cfg RandomPlanConfig) Plan {
 		case SensorDropout:
 			ev.Target = cfg.Sensors[r.Intn(len(cfg.Sensors))]
 		}
-		switch k {
-		case EngineDegrade, LinkRateCap, CoreThrottle:
+		if needsFactor(k) {
 			ev.Factor = cfg.MinFactor + (1-cfg.MinFactor)*r.Float64()
 		}
-		p.Add(ev)
+		// Draw an onset that does not overlap an already-drawn window of
+		// the same kind and target — Validate rejects such plans, and a
+		// clear racing another window's hold would be meaningless anyway.
+		// Deterministic redraw, bounded so a saturated timeline cannot
+		// spin forever; on exhaustion the event is skipped.
+		placed := false
+		for try := 0; try < 32 && !placed; try++ {
+			ev.At = sim.Time(r.Uint64n(uint64(cfg.Horizon)))
+			placed = true
+			for _, prev := range p.Events {
+				if prev.Kind == ev.Kind && prev.Target == ev.Target &&
+					prev.At < ev.End() && ev.At < prev.End() {
+					placed = false
+					break
+				}
+			}
+		}
+		if placed {
+			p.Add(ev)
+		}
 	}
 	// Sort by onset so plans read chronologically; Arm does not care, but
 	// humans inspecting a report do.

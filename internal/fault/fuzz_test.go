@@ -1,0 +1,73 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// FuzzPlanValidate feeds Validate arbitrary byte-derived plans: it must
+// never panic, must be idempotent, and must accept exactly the plans
+// whose events are individually sane and pairwise non-overlapping.
+func FuzzPlanValidate(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{255, 255, 255, 0, 0, 0})
+	f.Add([]byte{})
+
+	targets := []string{"comp", "pka", "wire", "bus", "host", "snic", "power"}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 96 {
+			data = data[:96]
+		}
+		var p Plan
+		// Six bytes per event: onset, window, kind, target, factor, sign.
+		for i := 0; i+6 <= len(data); i += 6 {
+			ev := Event{
+				At:     sim.Time(int64(data[i]) * 1000),
+				For:    sim.Duration(int64(data[i+1]) * 1000),
+				Kind:   Kind(int(data[i+2]) % 8), // includes one out-of-range kind
+				Target: targets[int(data[i+3])%len(targets)],
+				Factor: float64(data[i+4]) / 128, // spans 0..~2, straddling (0,1]
+			}
+			if data[i+5]%16 == 0 {
+				ev.At = -ev.At // occasionally negative onsets
+			}
+			if data[i+5]%16 == 1 {
+				ev.For = -ev.For
+			}
+			p.Add(ev)
+		}
+		horizon := sim.Time(128_000)
+		err := p.Validate(horizon)
+		if err2 := p.Validate(horizon); (err == nil) != (err2 == nil) {
+			t.Fatalf("Validate not idempotent: %v then %v", err, err2)
+		}
+		if err != nil {
+			var pe *PlanError
+			if !errors.As(err, &pe) {
+				t.Fatalf("rejection is %T, want *PlanError", err)
+			}
+			if pe.Index < 0 || pe.Index >= len(p.Events) {
+				t.Fatalf("rejection index %d out of range (%d events)", pe.Index, len(p.Events))
+			}
+			return
+		}
+		// Accepted: re-derive the laws independently.
+		for i, ev := range p.Events {
+			if ev.At < 0 || ev.For <= 0 || ev.At > horizon {
+				t.Fatalf("accepted out-of-range event %d: %v", i, ev)
+			}
+			if needsFactor(ev.Kind) && (ev.Factor <= 0 || ev.Factor > 1) {
+				t.Fatalf("accepted bad factor on event %d: %v", i, ev)
+			}
+			for j := i + 1; j < len(p.Events); j++ {
+				b := p.Events[j]
+				if ev.Kind == b.Kind && ev.Target == b.Target &&
+					ev.At < b.End() && b.At < ev.End() {
+					t.Fatalf("accepted overlap between events %d and %d", i, j)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package fault
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// PlanError is the typed rejection a malformed plan fails with at
+// construction time, before anything is armed on an engine.
+type PlanError struct {
+	// Index is the offending event's position in Plan.Events.
+	Index  int
+	Event  Event
+	Reason string
+}
+
+// Error implements error.
+func (e *PlanError) Error() string {
+	return fmt.Sprintf("fault: invalid plan event %d (%v): %s", e.Index, e.Event, e.Reason)
+}
+
+// needsFactor reports whether the kind carries a degradation factor.
+func needsFactor(k Kind) bool {
+	switch k {
+	case EngineDegrade, LinkRateCap, CoreThrottle:
+		return true
+	}
+	return false
+}
+
+// Validate rejects plans that would silently misbehave when armed:
+// onsets before time zero, non-positive windows, out-of-range factors,
+// onsets past the run horizon (pass 0 to skip the horizon check), and
+// two windows of the same kind on the same target overlapping — the
+// second clear would un-fault a component the first window still holds
+// down. Windows are half-open [At, End()), so a window starting exactly
+// when its predecessor clears is fine. Returns the first *PlanError in
+// event order, or nil.
+func (p *Plan) Validate(horizon sim.Time) error {
+	for i, ev := range p.Events {
+		switch {
+		case ev.At < 0:
+			return &PlanError{Index: i, Event: ev, Reason: "onset before time zero"}
+		case ev.For <= 0:
+			return &PlanError{Index: i, Event: ev, Reason: "non-positive fault window"}
+		case horizon > 0 && ev.At > horizon:
+			return &PlanError{Index: i, Event: ev,
+				Reason: fmt.Sprintf("onset past run horizon %v", horizon)}
+		}
+		if needsFactor(ev.Kind) && (ev.Factor <= 0 || ev.Factor > 1) {
+			return &PlanError{Index: i, Event: ev,
+				Reason: fmt.Sprintf("factor %v outside (0,1]", ev.Factor)}
+		}
+	}
+	for i, a := range p.Events {
+		for j := i + 1; j < len(p.Events); j++ {
+			b := p.Events[j]
+			if a.Kind != b.Kind || a.Target != b.Target {
+				continue
+			}
+			if a.At < b.End() && b.At < a.End() {
+				return &PlanError{Index: j, Event: b,
+					Reason: fmt.Sprintf("window overlaps event %d (%v)", i, a)}
+			}
+		}
+	}
+	return nil
+}

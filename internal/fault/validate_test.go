@@ -1,0 +1,115 @@
+package fault
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestValidateRejections(t *testing.T) {
+	ms := sim.Duration(1_000_000)
+	cases := []struct {
+		name   string
+		plan   Plan
+		reason string
+		index  int
+	}{
+		{"negative onset",
+			*(&Plan{}).Add(Event{At: -1, For: ms, Kind: LinkFlap, Target: "wire"}),
+			"before time zero", 0},
+		{"zero window",
+			*(&Plan{}).Add(Event{At: 0, For: 0, Kind: LinkFlap, Target: "wire"}),
+			"non-positive fault window", 0},
+		{"negative window",
+			*(&Plan{}).Add(Event{At: 0, For: -1, Kind: EngineCrash, Target: "comp"}),
+			"non-positive fault window", 0},
+		{"onset past horizon",
+			*(&Plan{}).Add(Event{At: sim.Time(20 * ms), For: ms, Kind: LinkFlap, Target: "wire"}),
+			"past run horizon", 0},
+		{"factor zero",
+			*(&Plan{}).Add(Event{At: 0, For: ms, Kind: EngineDegrade, Target: "comp", Factor: 0}),
+			"outside (0,1]", 0},
+		{"factor above one",
+			*(&Plan{}).Add(Event{At: 0, For: ms, Kind: CoreThrottle, Target: "host", Factor: 1.5}),
+			"outside (0,1]", 0},
+		{"overlapping windows",
+			*(&Plan{}).
+				Add(Event{At: 0, For: 10 * ms, Kind: LinkFlap, Target: "wire"}).
+				Add(Event{At: sim.Time(5 * ms), For: ms, Kind: LinkFlap, Target: "wire"}),
+			"overlaps event 0", 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.plan.Validate(sim.Time(10 * ms))
+			var pe *PlanError
+			if !errors.As(err, &pe) {
+				t.Fatalf("Validate = %v, want *PlanError", err)
+			}
+			if !strings.Contains(pe.Reason, tc.reason) {
+				t.Fatalf("reason %q, want substring %q", pe.Reason, tc.reason)
+			}
+			if pe.Index != tc.index {
+				t.Fatalf("index = %d, want %d", pe.Index, tc.index)
+			}
+		})
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	ms := sim.Duration(1_000_000)
+	p := (&Plan{}).
+		Add(Event{At: 0, For: 2 * ms, Kind: LinkFlap, Target: "wire"}).
+		// Same window instants, different target: no conflict.
+		Add(Event{At: 0, For: 2 * ms, Kind: LinkFlap, Target: "bus"}).
+		// Same target, different kind: no conflict.
+		Add(Event{At: 0, For: 2 * ms, Kind: LinkRateCap, Target: "wire", Factor: 0.5}).
+		Add(Event{At: sim.Time(5 * ms), For: ms, Kind: EngineDegrade, Target: "comp", Factor: 1}) // factor 1 is the boundary
+	if err := p.Validate(sim.Time(10 * ms)); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	if err := p.Validate(0); err != nil {
+		t.Fatalf("horizon 0 must skip the horizon check: %v", err)
+	}
+	if err := (&Plan{}).Validate(sim.Time(ms)); err != nil {
+		t.Fatalf("empty plan rejected: %v", err)
+	}
+}
+
+// Windows are half-open: a window starting the instant its predecessor
+// clears is back-to-back, not overlapping.
+func TestValidateBackToBackWindows(t *testing.T) {
+	ms := sim.Duration(1_000_000)
+	first := Event{At: 0, For: 2 * ms, Kind: LinkFlap, Target: "wire"}
+	p := (&Plan{}).
+		Add(first).
+		Add(Event{At: first.End(), For: ms, Kind: LinkFlap, Target: "wire"})
+	if err := p.Validate(sim.Time(10 * ms)); err != nil {
+		t.Fatalf("back-to-back windows rejected: %v", err)
+	}
+}
+
+// NewRandomPlan promises every drawn plan passes Validate.
+func TestRandomPlansAlwaysValidate(t *testing.T) {
+	for seed := uint64(0); seed < 40; seed++ {
+		cfg := RandomPlanConfig{
+			Seed:    seed,
+			Horizon: sim.Duration(50_000_000),
+			Events:  12,
+			// A tight window budget forces redraws on a crowded timeline.
+			MaxWindow: sim.Duration(20_000_000),
+			Engines:   []string{"comp"},
+			Links:     []string{"wire"},
+			Pools:     []string{"host"},
+			Sensors:   []string{"power"},
+		}
+		p := NewRandomPlan(cfg)
+		if err := p.Validate(0); err != nil {
+			t.Fatalf("seed %d drew an invalid plan: %v", seed, err)
+		}
+		if len(p.Events) == 0 {
+			t.Fatalf("seed %d drew an empty plan", seed)
+		}
+	}
+}

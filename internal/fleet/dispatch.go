@@ -4,6 +4,9 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/invariant"
+	"repro/internal/sim"
 )
 
 // The dispatcher works at trace-interval granularity: each interval's
@@ -103,8 +106,10 @@ func Dispatch(cfg *Config, caps, scores []float64) (*Assignment, error) {
 	down := make([]bool, n)
 	for i := 0; i < intervals; i++ {
 		rate := cfg.Trace.RatesGbps[i]
+		var carryBefore float64
 		for s := 0; s < n; s++ {
 			down[s] = cfg.ServerDown(s, i)
+			carryBefore += carry[s]
 		}
 		switch cfg.Policy {
 		case RoundRobin:
@@ -117,6 +122,24 @@ func Dispatch(cfg *Config, caps, scores []float64) (*Assignment, error) {
 			dispatchAdvisor(a, i, rate, caps, scores, margin, carry, down)
 		default:
 			return nil, fmt.Errorf("fleet: unknown policy %q", cfg.Policy)
+		}
+		// Conservation audit: a policy may move rate mass between server
+		// assignments, parked backlog and the loss bucket, but it must
+		// never create or destroy any — offered + backlog in equals
+		// assigned + lost + backlog out, to float tolerance. A policy that
+		// leaks here would silently understate fleet load.
+		out := a.Lost[i]
+		for s := 0; s < n; s++ {
+			out += a.Rates[s][i] + carry[s]
+		}
+		in := rate + carryBefore
+		if math.Abs(in-out) > 1e-9*math.Max(1, math.Abs(in)) {
+			return nil, &invariant.Violation{
+				Rule: invariant.RuleDispatch,
+				Time: sim.Time(i) * sim.Time(cfg.Trace.Interval),
+				Detail: fmt.Sprintf("policy %s interval %d: offered %.9g + backlog %.9g != assigned+lost+backlog %.9g",
+					cfg.Policy, i, rate, carryBefore, out),
+			}
 		}
 		// Backlog bookkeeping: healthy servers work off (or grow) their
 		// queue against estimated capacity; a down server's carry was

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/invariant"
 	"repro/internal/sim"
 )
 
@@ -106,6 +107,38 @@ func (t *Table) Misses() uint64 { return t.misses }
 func (t *Table) WorkingSetBytes() int64 {
 	const perEntry = 2 * (4 + 4 + 40) // both directions, map overhead
 	return int64(t.Len()) * perEntry
+}
+
+// Validate checks the table's two-way consistency: the forward and
+// reverse maps must be the same size and exact inverses of each other —
+// Add preserves this by construction, so a failure means the bijection
+// was corrupted. Keys are checked in sorted order, so the reported
+// violation is deterministic. Returns the first *invariant.Violation or
+// nil.
+func (t *Table) Validate() error {
+	if len(t.toPrivate) != len(t.toPublic) {
+		return &invariant.Violation{Rule: invariant.RuleBijection, Station: "nat",
+			Detail: fmt.Sprintf("forward map has %d entries, reverse has %d",
+				len(t.toPrivate), len(t.toPublic))}
+	}
+	pubs := make([]IPv4, 0, len(t.toPrivate))
+	for pub := range t.toPrivate {
+		pubs = append(pubs, pub)
+	}
+	sort.Slice(pubs, func(i, j int) bool { return pubs[i] < pubs[j] })
+	for _, pub := range pubs {
+		priv := t.toPrivate[pub]
+		back, ok := t.toPublic[priv]
+		if !ok {
+			return &invariant.Violation{Rule: invariant.RuleBijection, Station: "nat",
+				Detail: fmt.Sprintf("%v -> %v has no reverse mapping", pub, priv)}
+		}
+		if back != pub {
+			return &invariant.Violation{Rule: invariant.RuleBijection, Station: "nat",
+				Detail: fmt.Sprintf("%v -> %v maps back to %v", pub, priv, back)}
+		}
+	}
+	return nil
 }
 
 // Header is the minimal packet header NAT rewrites.

@@ -1,0 +1,98 @@
+package nat
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/invariant"
+)
+
+// Generated tables are bijections by construction; Validate must agree,
+// at several sizes and seeds.
+func TestValidateAcceptsGeneratedTables(t *testing.T) {
+	for _, n := range []int{1, 100, 5000} {
+		for seed := uint64(0); seed < 3; seed++ {
+			tbl := GenerateTable(n, seed)
+			if err := tbl.Validate(); err != nil {
+				t.Fatalf("n=%d seed=%d: generated table rejected: %v", n, seed, err)
+			}
+		}
+	}
+	if err := NewTable().Validate(); err != nil {
+		t.Fatalf("empty table rejected: %v", err)
+	}
+}
+
+// Add replaces a public address's old mapping including its reverse
+// entry; the replacement path must keep the bijection intact.
+func TestValidateAfterReplacement(t *testing.T) {
+	tbl := NewTable()
+	tbl.Add(Entry{Public: 0x80000001, Private: 0x0a000001})
+	tbl.Add(Entry{Public: 0x80000001, Private: 0x0a000002}) // remap
+	if err := tbl.Validate(); err != nil {
+		t.Fatalf("replacement broke the bijection: %v", err)
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("len = %d after replacement, want 1", tbl.Len())
+	}
+}
+
+// Corrupted tables must be caught, with the typed violation naming what
+// broke. Corruption is simulated directly on the maps — exactly what a
+// buggy future Add/Remove refactor would do.
+func TestValidateCatchesCorruption(t *testing.T) {
+	t.Run("size mismatch", func(t *testing.T) {
+		tbl := GenerateTable(10, 1)
+		tbl.toPublic[0x0affffff] = 0x9fffffff // phantom reverse entry
+		assertBijectionViolation(t, tbl, "entries")
+	})
+	t.Run("missing reverse mapping", func(t *testing.T) {
+		tbl := GenerateTable(10, 2)
+		for pub, priv := range tbl.toPrivate {
+			delete(tbl.toPublic, priv)
+			// Keep sizes equal so the size check cannot mask the hole.
+			tbl.toPublic[0x0affffff] = pub
+			break
+		}
+		assertBijectionViolation(t, tbl, "no reverse mapping")
+	})
+	t.Run("reverse maps elsewhere", func(t *testing.T) {
+		tbl := GenerateTable(10, 3)
+		for _, priv := range tbl.toPrivate {
+			tbl.toPublic[priv] = 0x9e000000 // points at a different public
+			break
+		}
+		assertBijectionViolation(t, tbl, "maps back to")
+	})
+}
+
+func assertBijectionViolation(t *testing.T, tbl *Table, detail string) {
+	t.Helper()
+	err := tbl.Validate()
+	var v *invariant.Violation
+	if !errors.As(err, &v) {
+		t.Fatalf("Validate = %v, want *invariant.Violation", err)
+	}
+	if v.Rule != invariant.RuleBijection || v.Station != "nat" {
+		t.Fatalf("violation = %+v, want table-bijection on nat", v)
+	}
+	if !strings.Contains(v.Detail, detail) {
+		t.Fatalf("detail %q, want substring %q", v.Detail, detail)
+	}
+}
+
+// Validate must be deterministic even though corruption sits in a map:
+// the first reported violation is the same on every call.
+func TestValidateDeterministicReport(t *testing.T) {
+	tbl := GenerateTable(50, 4)
+	for pub, priv := range tbl.toPrivate {
+		tbl.toPublic[priv] = pub + 1
+	}
+	first := tbl.Validate().Error()
+	for i := 0; i < 5; i++ {
+		if got := tbl.Validate().Error(); got != first {
+			t.Fatalf("report changed between calls:\n  %s\n  %s", first, got)
+		}
+	}
+}

@@ -1,0 +1,405 @@
+package invariant
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Per-request lifecycle states for the conservation ledger.
+const (
+	reqAbsent uint8 = iota
+	reqInFlight
+	reqCompleted
+	reqDropped
+)
+
+// stationState is what the checker knows about one observed station.
+type stationState struct {
+	// known marks stations registered explicitly (with authoritative
+	// servers/capacity) as opposed to ones discovered from callbacks.
+	known    bool
+	servers  int
+	capacity int
+	// probe reads the station's live (busy, queued) counters; nil when
+	// the station's internals are not reachable (batch engines).
+	probe func() (busy, queued int)
+}
+
+// Checker validates the simulator's physical laws online. It implements
+// sim.StationObserver, sim.LinkObserver and sim.BatchObserver, so it
+// installs exactly where the telemetry recorder does; the request ledger
+// (Inject/Complete/Drop) is driven by the run drivers themselves.
+//
+// Like the recorder, a Checker belongs to one run and is driven
+// synchronously from that run's event loop — no locking. All methods are
+// nil-safe: a nil *Checker is "checks off" and costs one nil test.
+type Checker struct {
+	run      string
+	failFast bool
+	first    *Violation
+
+	// clock is the high-water mark of observed virtual time.
+	clock sim.Time
+
+	injected, completed, dropped  uint64
+	bytesIn, bytesDone, bytesDrop uint64
+	state                         map[uint64]uint8
+
+	stations map[string]*stationState
+}
+
+// New returns a fail-fast checker for the named run: the first violation
+// panics with the typed *Violation.
+func New(run string) *Checker {
+	return &Checker{
+		run:      run,
+		failFast: true,
+		state:    make(map[uint64]uint8),
+		stations: make(map[string]*stationState),
+	}
+}
+
+// Soft switches the checker to collecting mode: violations record (first
+// one wins) instead of panicking. Tests use it to assert on the
+// violation; production wiring keeps fail-fast.
+func (c *Checker) Soft() *Checker {
+	c.failFast = false
+	return c
+}
+
+// Run returns the checker's run label. Nil-safe.
+func (c *Checker) Run() string {
+	if c == nil {
+		return ""
+	}
+	return c.run
+}
+
+// Err returns the first recorded violation, or nil. Nil-safe.
+func (c *Checker) Err() error {
+	if c == nil || c.first == nil {
+		return nil
+	}
+	return c.first
+}
+
+// violate records v (first violation wins) and panics in fail-fast mode.
+func (c *Checker) violate(v *Violation) {
+	v.Run = c.run
+	if c.first == nil {
+		c.first = v
+	}
+	if c.failFast {
+		panic(v)
+	}
+}
+
+// advance checks clock monotonicity against an observed event time and
+// moves the high-water mark.
+func (c *Checker) advance(now sim.Time) {
+	if now < c.clock {
+		c.violate(&Violation{
+			Rule: RuleClock, Time: now,
+			Detail: fmt.Sprintf("observed time %v after %v", now, c.clock),
+		})
+		return
+	}
+	c.clock = now
+}
+
+// Now returns the checker's observed-time high-water mark. Nil-safe.
+func (c *Checker) Now() sim.Time {
+	if c == nil {
+		return 0
+	}
+	return c.clock
+}
+
+// RegisterStation declares a station's ground truth: its server count
+// and queue capacity (0 = unbounded), plus an optional probe reading its
+// live (busy, queued) counters. Registered bounds turn the occupancy and
+// capacity checks from non-negativity into exact range checks. Nil-safe.
+func (c *Checker) RegisterStation(name string, servers, capacity int, probe func() (busy, queued int)) {
+	if c == nil {
+		return
+	}
+	c.stations[name] = &stationState{known: true, servers: servers, capacity: capacity, probe: probe}
+}
+
+func (c *Checker) station(name string) *stationState {
+	st, ok := c.stations[name]
+	if !ok {
+		st = &stationState{}
+		c.stations[name] = st
+	}
+	return st
+}
+
+// probeCheck validates a station's live counters against its bounds.
+func (c *Checker) probeCheck(name string, st *stationState, now sim.Time) {
+	if st.probe == nil {
+		return
+	}
+	busy, queued := st.probe()
+	switch {
+	case busy < 0:
+		c.violate(&Violation{Rule: RuleQueue, Time: now, Station: name,
+			Detail: fmt.Sprintf("occupancy %d is negative", busy)})
+	case st.servers > 0 && busy > st.servers:
+		c.violate(&Violation{Rule: RuleQueue, Time: now, Station: name,
+			Detail: fmt.Sprintf("occupancy %d exceeds %d servers", busy, st.servers)})
+	}
+	switch {
+	case queued < 0:
+		c.violate(&Violation{Rule: RuleQueue, Time: now, Station: name,
+			Detail: fmt.Sprintf("queue length %d is negative", queued)})
+	case st.capacity > 0 && queued > st.capacity:
+		c.violate(&Violation{Rule: RuleQueue, Time: now, Station: name,
+			Detail: fmt.Sprintf("queue length %d exceeds capacity %d", queued, st.capacity)})
+	}
+}
+
+// ---- request/byte conservation ledger ----
+
+// Inject records a request entering the system with its payload size.
+// Nil-safe.
+func (c *Checker) Inject(seq uint64, bytes int, now sim.Time) {
+	if c == nil {
+		return
+	}
+	c.advance(now)
+	if bytes < 0 {
+		c.violate(&Violation{Rule: RuleBytes, Time: now, Request: seq,
+			Detail: fmt.Sprintf("negative payload %d bytes", bytes)})
+		return
+	}
+	if st := c.state[seq]; st != reqAbsent {
+		c.violate(&Violation{Rule: RuleRequestState, Time: now, Request: seq,
+			Detail: fmt.Sprintf("injected twice (state %d)", st)})
+		return
+	}
+	c.state[seq] = reqInFlight
+	c.injected++
+	c.bytesIn += uint64(bytes)
+}
+
+// Complete records a request's single successful completion. Nil-safe.
+func (c *Checker) Complete(seq uint64, bytes int, now sim.Time) {
+	if c == nil {
+		return
+	}
+	c.advance(now)
+	switch c.state[seq] {
+	case reqInFlight:
+		c.state[seq] = reqCompleted
+		c.completed++
+		if bytes > 0 {
+			c.bytesDone += uint64(bytes)
+		}
+	case reqAbsent:
+		c.violate(&Violation{Rule: RuleRequestState, Time: now, Request: seq,
+			Detail: "completed without being injected"})
+	case reqCompleted:
+		c.violate(&Violation{Rule: RuleRequestState, Time: now, Request: seq,
+			Detail: "completed twice"})
+	case reqDropped:
+		c.violate(&Violation{Rule: RuleRequestState, Time: now, Request: seq,
+			Detail: "completed after being dropped"})
+	}
+}
+
+// Drop records a request shed or abandoned. Nil-safe.
+func (c *Checker) Drop(seq uint64, bytes int, now sim.Time) {
+	if c == nil {
+		return
+	}
+	c.advance(now)
+	switch c.state[seq] {
+	case reqInFlight:
+		c.state[seq] = reqDropped
+		c.dropped++
+		if bytes > 0 {
+			c.bytesDrop += uint64(bytes)
+		}
+	case reqAbsent:
+		c.violate(&Violation{Rule: RuleRequestState, Time: now, Request: seq,
+			Detail: "dropped without being injected"})
+	default:
+		c.violate(&Violation{Rule: RuleRequestState, Time: now, Request: seq,
+			Detail: "dropped after already being resolved"})
+	}
+}
+
+// Injected, Completed, Dropped and InFlight expose the ledger. Nil-safe.
+func (c *Checker) Injected() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.injected
+}
+
+// Completed returns resolved-successfully requests. Nil-safe.
+func (c *Checker) Completed() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.completed
+}
+
+// Dropped returns shed or abandoned requests. Nil-safe.
+func (c *Checker) Dropped() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.dropped
+}
+
+// InFlight returns requests injected but not yet resolved. Nil-safe.
+func (c *Checker) InFlight() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.injected - c.completed - c.dropped
+}
+
+// VerifyCounts cross-checks the ledger against a run driver's own
+// sent/completed counters — the two are maintained independently, so a
+// mismatch means one side lost track of a request. Nil-safe.
+func (c *Checker) VerifyCounts(sent, completed uint64, now sim.Time) {
+	if c == nil {
+		return
+	}
+	c.advance(now)
+	if c.injected != sent {
+		c.violate(&Violation{Rule: RuleConservation, Time: now,
+			Detail: fmt.Sprintf("ledger saw %d injections, driver sent %d", c.injected, sent)})
+	}
+	if c.completed != completed {
+		c.violate(&Violation{Rule: RuleConservation, Time: now,
+			Detail: fmt.Sprintf("ledger saw %d completions, driver recorded %d", c.completed, completed)})
+	}
+}
+
+// Finish runs the end-of-run conservation checks: every injected request
+// must be completed or dropped (a drained engine leaves nothing in
+// flight), and payload bytes must balance the same way. It returns the
+// first violation (including any recorded earlier) rather than
+// panicking, so callers decide how a failed run dies. Nil-safe.
+func (c *Checker) Finish(now sim.Time) error {
+	if c == nil {
+		return nil
+	}
+	ff := c.failFast
+	c.failFast = false
+	defer func() { c.failFast = ff }()
+	c.advance(now)
+	if inflight := c.injected - c.completed - c.dropped; inflight != 0 {
+		c.violate(&Violation{Rule: RuleConservation, Time: now,
+			Detail: fmt.Sprintf("injected %d != completed %d + dropped %d (%d unaccounted)",
+				c.injected, c.completed, c.dropped, inflight)})
+	}
+	if c.bytesIn != c.bytesDone+c.bytesDrop {
+		c.violate(&Violation{Rule: RuleBytes, Time: now,
+			Detail: fmt.Sprintf("bytes in %d != completed %d + dropped %d",
+				c.bytesIn, c.bytesDone, c.bytesDrop)})
+	}
+	return c.Err()
+}
+
+// ---- sim observer implementations ----
+
+// JobQueued implements sim.StationObserver.
+func (c *Checker) JobQueued(station string, now sim.Time, queueLen int) {
+	if c == nil {
+		return
+	}
+	c.advance(now)
+	st := c.station(station)
+	if queueLen < 1 {
+		c.violate(&Violation{Rule: RuleQueue, Time: now, Station: station,
+			Detail: fmt.Sprintf("queued callback with queue length %d", queueLen)})
+	} else if st.capacity > 0 && queueLen > st.capacity {
+		c.violate(&Violation{Rule: RuleQueue, Time: now, Station: station,
+			Detail: fmt.Sprintf("queue length %d exceeds capacity %d", queueLen, st.capacity)})
+	}
+	c.probeCheck(station, st, now)
+}
+
+// JobStarted implements sim.StationObserver.
+func (c *Checker) JobStarted(station string, now sim.Time, waited sim.Duration) {
+	if c == nil {
+		return
+	}
+	c.advance(now)
+	if waited < 0 {
+		c.violate(&Violation{Rule: RuleCausality, Time: now, Station: station,
+			Detail: fmt.Sprintf("negative queue wait %v", waited)})
+	}
+	c.probeCheck(station, c.station(station), now)
+}
+
+// JobFinished implements sim.StationObserver.
+func (c *Checker) JobFinished(station string, start, end sim.Time) {
+	if c == nil {
+		return
+	}
+	c.advance(end)
+	if end < start {
+		c.violate(&Violation{Rule: RuleCausality, Time: end, Station: station,
+			Detail: fmt.Sprintf("service ended at %v before it started at %v", end, start)})
+	}
+	c.probeCheck(station, c.station(station), end)
+}
+
+// JobDropped implements sim.StationObserver.
+func (c *Checker) JobDropped(station string, now sim.Time) {
+	if c == nil {
+		return
+	}
+	c.advance(now)
+	st := c.station(station)
+	if st.known && st.capacity == 0 {
+		c.violate(&Violation{Rule: RuleQueue, Time: now, Station: station,
+			Detail: "job dropped at an unbounded queue"})
+	}
+	c.probeCheck(station, st, now)
+}
+
+// FrameSent implements sim.LinkObserver. The callback fires at
+// submission time with a serialization slot possibly in the future, so
+// it must not advance the clock — it only checks the slot's sanity.
+func (c *Checker) FrameSent(link string, size int, start, done sim.Time, lost bool) {
+	if c == nil {
+		return
+	}
+	if size < 0 {
+		c.violate(&Violation{Rule: RuleBytes, Time: start, Station: link,
+			Detail: fmt.Sprintf("negative frame size %d", size)})
+	}
+	if start < c.clock {
+		c.violate(&Violation{Rule: RuleClock, Time: start, Station: link,
+			Detail: fmt.Sprintf("serialization slot starts at %v before observed time %v", start, c.clock)})
+	}
+	if done < start {
+		c.violate(&Violation{Rule: RuleCausality, Time: start, Station: link,
+			Detail: fmt.Sprintf("serialization ends at %v before it starts at %v", done, start)})
+	}
+	_ = lost
+}
+
+// BatchFlushed implements sim.BatchObserver.
+func (c *Checker) BatchFlushed(station string, tasks int, waited sim.Duration, now sim.Time) {
+	if c == nil {
+		return
+	}
+	c.advance(now)
+	if tasks < 1 {
+		c.violate(&Violation{Rule: RuleQueue, Time: now, Station: station,
+			Detail: fmt.Sprintf("batch flushed with %d tasks", tasks)})
+	}
+	if waited < 0 {
+		c.violate(&Violation{Rule: RuleCausality, Time: now, Station: station,
+			Detail: fmt.Sprintf("negative batch assembly wait %v", waited)})
+	}
+}

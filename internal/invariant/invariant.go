@@ -1,0 +1,92 @@
+// Package invariant is the checked-execution mode of the testbed: a set
+// of composable observers that validate the simulator's physical laws
+// online, while a run executes, instead of trusting golden outputs.
+//
+// The laws are spec-derived, not behaviour-derived, so they survive any
+// engine refactor:
+//
+//   - request conservation: injected == completed + dropped (+ explained
+//     in-flight), for plain runs, trace replays, fleet servers and
+//     faulted/failover replays alike;
+//   - byte conservation: payload bytes follow the same ledger;
+//   - causality: every recorded phase of a request starts no earlier
+//     than its arrival and (straggler-free runs) ends no later than its
+//     completion, and no span has negative duration;
+//   - clock monotonicity: observed virtual time never runs backwards;
+//   - queue sanity: station occupancy is never negative, never exceeds
+//     the server count, and queues never exceed their capacity.
+//
+// A Checker is wired exactly like the telemetry recorder (see
+// internal/obs): it implements the internal/sim observer interfaces and
+// is installed next to the recorder through a tee. With checks off the
+// hot path is unchanged — the same single nil guard as telemetry.
+//
+// Violations fail fast: the checker panics with a typed *Violation
+// carrying the run label, virtual time, station and request so a failing
+// fuzz case or CI run pinpoints the broken law immediately.
+package invariant
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Rule names the class of physical law a violation broke.
+type Rule string
+
+// The checked rules.
+const (
+	// RuleConservation: injected != completed + dropped + in-flight.
+	RuleConservation Rule = "request-conservation"
+	// RuleBytes: payload bytes in != bytes completed + bytes dropped.
+	RuleBytes Rule = "byte-conservation"
+	// RuleRequestState: an impossible per-request transition (complete
+	// without inject, double complete, drop after complete, ...).
+	RuleRequestState Rule = "request-state"
+	// RuleCausality: a span violates arrival ≤ enter ≤ exit ≤ completion.
+	RuleCausality Rule = "causality"
+	// RuleClock: observed virtual time ran backwards.
+	RuleClock Rule = "clock-monotonic"
+	// RuleQueue: negative occupancy, occupancy beyond the server count,
+	// or a queue beyond its capacity.
+	RuleQueue Rule = "queue-sanity"
+	// RuleDispatch: the fleet dispatcher lost or invented rate mass in
+	// an interval (offered + backlog != assigned + lost + parked).
+	RuleDispatch Rule = "dispatch-conservation"
+	// RuleBijection: a translation table lost its two-way consistency.
+	RuleBijection Rule = "table-bijection"
+)
+
+// Violation is the typed error every check fails with. Fields are the
+// structured context of the failure; zero values mean "not applicable"
+// (e.g. a clock violation carries no request).
+type Violation struct {
+	Rule Rule
+	// Run is the human-readable run label (empty for standalone checks).
+	Run string
+	// Time is the virtual time at which the violation was detected.
+	Time sim.Time
+	// Station is the resource involved, when one is.
+	Station string
+	// Request is the request sequence number involved, when one is.
+	Request uint64
+	// Detail states the broken equation with its observed values.
+	Detail string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	s := fmt.Sprintf("invariant: %s violated", v.Rule)
+	if v.Run != "" {
+		s += fmt.Sprintf(" in %q", v.Run)
+	}
+	s += fmt.Sprintf(" at %v", v.Time)
+	if v.Station != "" {
+		s += fmt.Sprintf(" on %q", v.Station)
+	}
+	if v.Request != 0 {
+		s += fmt.Sprintf(" (request %d)", v.Request)
+	}
+	return s + ": " + v.Detail
+}

@@ -1,0 +1,58 @@
+package invariant
+
+import (
+	"fmt"
+
+	"repro/internal/obs"
+)
+
+// SpanCheckOpts tunes the end-of-run span audit.
+type SpanCheckOpts struct {
+	// AllowStragglers permits a child span to end after its parent
+	// closes. Failover replays need this: a request abandoned at its
+	// retry timeout closes its root span while the stale in-service
+	// copy still finishes (and records) later.
+	AllowStragglers bool
+}
+
+// CheckSpans audits a finished run's span tree for causality: no closed
+// span has negative duration, every child starts no earlier than its
+// parent (a request phase cannot precede the request's arrival), and —
+// unless AllowStragglers — every closed child ends no later than its
+// closed parent. Open spans are legitimate (requests shed mid-flight)
+// and are only checked on the start side. Returns the first *Violation
+// found, or nil. Nil-safe.
+func CheckSpans(rec *obs.Recorder, opts SpanCheckOpts) error {
+	if rec == nil {
+		return nil
+	}
+	views := make([]obs.SpanView, rec.SpanCount()+1)
+	rec.EachSpan(func(id obs.SpanID, s obs.SpanView) {
+		views[id] = s
+	})
+	for id := 1; id < len(views); id++ {
+		s := views[id]
+		name := s.Track + "/" + s.Name
+		if !s.Open && s.End < s.Start {
+			return &Violation{Rule: RuleCausality, Run: rec.Label(), Time: s.Start, Station: name,
+				Detail: fmt.Sprintf("span %d has negative duration (%v .. %v)", id, s.Start, s.End)}
+		}
+		if s.Parent == 0 {
+			continue
+		}
+		if int(s.Parent) >= len(views) || int(s.Parent) == id {
+			return &Violation{Rule: RuleCausality, Run: rec.Label(), Time: s.Start, Station: name,
+				Detail: fmt.Sprintf("span %d links to impossible parent %d", id, s.Parent)}
+		}
+		p := views[s.Parent]
+		if s.Start < p.Start {
+			return &Violation{Rule: RuleCausality, Run: rec.Label(), Time: s.Start, Station: name,
+				Detail: fmt.Sprintf("span %d starts at %v before its parent at %v", id, s.Start, p.Start)}
+		}
+		if !opts.AllowStragglers && !s.Open && !p.Open && s.End > p.End {
+			return &Violation{Rule: RuleCausality, Run: rec.Label(), Time: s.End, Station: name,
+				Detail: fmt.Sprintf("span %d ends at %v after its parent at %v", id, s.End, p.End)}
+		}
+	}
+	return nil
+}

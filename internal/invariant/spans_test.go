@@ -1,0 +1,82 @@
+package invariant
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func TestCheckSpansCleanTree(t *testing.T) {
+	rec := obs.NewRecorder(1, "clean")
+	root := rec.Open("req", "request", sim.Time(100))
+	child := rec.OpenChild("req", "serve", root, sim.Time(120))
+	rec.Close(child, sim.Time(180))
+	rec.Close(root, sim.Time(200))
+	if err := CheckSpans(rec, SpanCheckOpts{}); err != nil {
+		t.Fatalf("clean tree flagged: %v", err)
+	}
+}
+
+func TestCheckSpansNegativeDuration(t *testing.T) {
+	rec := obs.NewRecorder(1, "neg")
+	rec.Span("req", "serve", 0, sim.Time(100), sim.Time(60))
+	err := CheckSpans(rec, SpanCheckOpts{})
+	v, ok := err.(*Violation)
+	if !ok || v.Rule != RuleCausality {
+		t.Fatalf("err = %v, want a causality violation", err)
+	}
+	if !strings.Contains(v.Detail, "negative duration") {
+		t.Fatalf("detail = %q", v.Detail)
+	}
+	if v.Run != "neg" || v.Station != "req/serve" {
+		t.Fatalf("context = %q/%q, want run and track/name", v.Run, v.Station)
+	}
+}
+
+func TestCheckSpansChildBeforeParent(t *testing.T) {
+	rec := obs.NewRecorder(1, "early")
+	root := rec.Open("req", "request", sim.Time(100))
+	// Child claims to start before the request arrived.
+	child := rec.OpenChild("req", "serve", root, sim.Time(50))
+	rec.Close(child, sim.Time(150))
+	rec.Close(root, sim.Time(200))
+	err := CheckSpans(rec, SpanCheckOpts{})
+	v, ok := err.(*Violation)
+	if !ok || !strings.Contains(v.Detail, "before its parent") {
+		t.Fatalf("err = %v, want a child-before-parent violation", err)
+	}
+}
+
+func TestCheckSpansStraggler(t *testing.T) {
+	rec := obs.NewRecorder(1, "strag")
+	root := rec.Open("req", "request", sim.Time(100))
+	child := rec.OpenChild("req", "serve", root, sim.Time(120))
+	rec.Close(root, sim.Time(150))  // request abandoned at timeout
+	rec.Close(child, sim.Time(300)) // stale service copy finishes later
+	if err := CheckSpans(rec, SpanCheckOpts{}); err == nil {
+		t.Fatal("straggler not flagged in strict mode")
+	}
+	if err := CheckSpans(rec, SpanCheckOpts{AllowStragglers: true}); err != nil {
+		t.Fatalf("straggler flagged despite AllowStragglers: %v", err)
+	}
+}
+
+// Shed requests legitimately leave their root span open; only the start
+// side is checkable.
+func TestCheckSpansOpenSpansPass(t *testing.T) {
+	rec := obs.NewRecorder(1, "open")
+	root := rec.Open("req", "request", sim.Time(100))
+	rec.OpenChild("req", "serve", root, sim.Time(120)) // never closed
+	rec.Close(root, sim.Time(150))
+	if err := CheckSpans(rec, SpanCheckOpts{}); err != nil {
+		t.Fatalf("open child flagged: %v", err)
+	}
+}
+
+func TestCheckSpansNilRecorder(t *testing.T) {
+	if err := CheckSpans(nil, SpanCheckOpts{}); err != nil {
+		t.Fatalf("nil recorder flagged: %v", err)
+	}
+}

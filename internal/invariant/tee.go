@@ -1,0 +1,60 @@
+package invariant
+
+import "repro/internal/sim"
+
+// Tee observers fan one resource's callbacks out to both the telemetry
+// recorder and the checker, since each resource holds a single observer
+// slot. Callers must pass non-nil observers — with only one of the two
+// enabled the resource gets that observer directly, with neither it gets
+// nil, so the tee never appears on an unobserved hot path.
+
+type teeStations struct{ a, b sim.StationObserver }
+
+// TeeStations returns a StationObserver forwarding to a then b.
+func TeeStations(a, b sim.StationObserver) sim.StationObserver {
+	return &teeStations{a: a, b: b}
+}
+
+func (t *teeStations) JobQueued(station string, now sim.Time, queueLen int) {
+	t.a.JobQueued(station, now, queueLen)
+	t.b.JobQueued(station, now, queueLen)
+}
+
+func (t *teeStations) JobStarted(station string, now sim.Time, waited sim.Duration) {
+	t.a.JobStarted(station, now, waited)
+	t.b.JobStarted(station, now, waited)
+}
+
+func (t *teeStations) JobFinished(station string, start, end sim.Time) {
+	t.a.JobFinished(station, start, end)
+	t.b.JobFinished(station, start, end)
+}
+
+func (t *teeStations) JobDropped(station string, now sim.Time) {
+	t.a.JobDropped(station, now)
+	t.b.JobDropped(station, now)
+}
+
+type teeLinks struct{ a, b sim.LinkObserver }
+
+// TeeLinks returns a LinkObserver forwarding to a then b.
+func TeeLinks(a, b sim.LinkObserver) sim.LinkObserver {
+	return &teeLinks{a: a, b: b}
+}
+
+func (t *teeLinks) FrameSent(link string, size int, start, done sim.Time, lost bool) {
+	t.a.FrameSent(link, size, start, done, lost)
+	t.b.FrameSent(link, size, start, done, lost)
+}
+
+type teeBatches struct{ a, b sim.BatchObserver }
+
+// TeeBatches returns a BatchObserver forwarding to a then b.
+func TeeBatches(a, b sim.BatchObserver) sim.BatchObserver {
+	return &teeBatches{a: a, b: b}
+}
+
+func (t *teeBatches) BatchFlushed(station string, tasks int, waited sim.Duration, now sim.Time) {
+	t.a.BatchFlushed(station, tasks, waited, now)
+	t.b.BatchFlushed(station, tasks, waited, now)
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// EachSpan backs the invariant layer's span audit, so its view must be
+// faithful: record order, resolved track/name strings, parent links and
+// the open marker.
+func TestEachSpanView(t *testing.T) {
+	rec := NewRecorder(7, "run")
+	root := rec.Open("requests", "req", sim.Time(10))
+	child := rec.OpenChild("host", "serve", root, sim.Time(20))
+	rec.Close(child, sim.Time(30))
+	rec.Close(root, sim.Time(35))
+	rec.Open("requests", "shed", sim.Time(40)) // never closed
+
+	var ids []SpanID
+	var views []SpanView
+	rec.EachSpan(func(id SpanID, s SpanView) {
+		ids = append(ids, id)
+		views = append(views, s)
+	})
+	if len(views) != 3 || len(views) != rec.SpanCount() {
+		t.Fatalf("saw %d spans, want 3 (SpanCount %d)", len(views), rec.SpanCount())
+	}
+	for i, id := range ids {
+		if id != SpanID(i+1) {
+			t.Fatalf("ids %v not in record order", ids)
+		}
+	}
+	if v := views[0]; v.Track != "requests" || v.Name != "req" || v.Parent != 0 || v.Open {
+		t.Fatalf("root view = %+v", v)
+	}
+	if v := views[1]; v.Track != "host" || v.Parent != root || v.Start != sim.Time(20) || v.End != sim.Time(30) || v.Open {
+		t.Fatalf("child view = %+v", v)
+	}
+	if v := views[2]; !v.Open {
+		t.Fatalf("never-closed span not marked open: %+v", v)
+	}
+}
+
+func TestEachSpanNilRecorder(t *testing.T) {
+	var rec *Recorder
+	rec.EachSpan(func(SpanID, SpanView) { t.Fatal("nil recorder yielded a span") })
+}

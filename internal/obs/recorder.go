@@ -168,6 +168,35 @@ func (r *Recorder) Span(track, name string, parent SpanID, start, end sim.Time) 
 	return SpanID(len(r.spans))
 }
 
+// SpanView is the read-only export of one recorded span, with interned
+// track/name indices resolved back to strings. Open marks spans whose
+// Close was never reached; their End is meaningless.
+type SpanView struct {
+	Track, Name string
+	Parent      SpanID
+	Start, End  sim.Time
+	Open        bool
+}
+
+// EachSpan calls fn for every recorded span in record order. The span
+// audit in internal/invariant is built on this. Nil-safe.
+func (r *Recorder) EachSpan(fn func(id SpanID, s SpanView)) {
+	if r == nil {
+		return
+	}
+	for i := range r.spans {
+		sp := &r.spans[i]
+		fn(SpanID(i+1), SpanView{
+			Track:  r.tracks[sp.track],
+			Name:   r.names[sp.name],
+			Parent: sp.parent,
+			Start:  sp.start,
+			End:    sp.end,
+			Open:   sp.end == openEnd,
+		})
+	}
+}
+
 // SpanCount returns the number of spans recorded so far.
 func (r *Recorder) SpanCount() int {
 	if r == nil {

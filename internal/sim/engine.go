@@ -45,12 +45,28 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // EventID identifies a scheduled event so it can be cancelled.
 type EventID uint64
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// panics: it always indicates a model bug and silently clamping would hide
-// causality violations.
-func (e *Engine) At(t Time, fn func()) EventID {
+// PastEventError reports an attempt to schedule an event before the
+// current virtual time — always a model bug, never a runtime condition
+// to clamp away.
+type PastEventError struct {
+	// At is the requested timestamp; Now is the clock it was behind.
+	At, Now Time
+}
+
+// Error implements error.
+func (e *PastEventError) Error() string {
+	return fmt.Sprintf("sim: scheduling event at %v before now %v", e.At, e.Now)
+}
+
+// TryAt schedules fn to run at absolute virtual time t, returning a
+// *PastEventError instead of panicking when t is in the past. An event
+// exactly at the current time is valid (it runs this instant, after
+// already-queued events at the same timestamp). Speculative schedulers
+// that compute timestamps from untrusted inputs use this; model code
+// with timestamps it believes in should use At.
+func (e *Engine) TryAt(t Time, fn func()) (EventID, error) {
 	if t < e.now {
-		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+		return 0, &PastEventError{At: t, Now: e.now}
 	}
 	if fn == nil {
 		panic("sim: scheduling nil event")
@@ -59,14 +75,23 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	id := e.nextID
 	e.seq++
 	heap.Push(&e.queue, &event{at: t, seq: e.seq, id: id, fn: fn})
-	return EventID(id)
+	return EventID(id), nil
 }
 
-// After schedules fn to run d after the current time.
-func (e *Engine) After(d Duration, fn func()) EventID {
-	if d < 0 {
-		panic(fmt.Sprintf("sim: scheduling event %v in the past", d))
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics with a typed *PastEventError: it always indicates a model bug and
+// silently clamping would hide causality violations.
+func (e *Engine) At(t Time, fn func()) EventID {
+	id, err := e.TryAt(t, fn)
+	if err != nil {
+		panic(err)
 	}
+	return id
+}
+
+// After schedules fn to run d after the current time. A negative delay
+// panics with a typed *PastEventError, like At.
+func (e *Engine) After(d Duration, fn func()) EventID {
 	return e.At(e.now.Add(d), fn)
 }
 

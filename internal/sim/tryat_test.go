@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestTryAtPastReturnsTypedError(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func() {})
+	e.Run()
+	id, err := e.TryAt(40, func() { t.Fatal("past event ran") })
+	if id != 0 {
+		t.Fatalf("past TryAt returned id %d", id)
+	}
+	var pe *PastEventError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %T, want *PastEventError", err)
+	}
+	if pe.At != 40 || pe.Now != 100 {
+		t.Fatalf("error fields At=%v Now=%v, want 40/100", pe.At, pe.Now)
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("failed TryAt left %d events queued", e.Pending())
+	}
+}
+
+// The boundary case: an event scheduled exactly at the current time is
+// valid — it fires this instant, after already-queued work at the same
+// timestamp.
+func TestTryAtExactlyNowIsValid(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.At(50, func() {
+		if _, err := e.TryAt(e.Now(), func() { order = append(order, 2) }); err != nil {
+			t.Fatalf("TryAt(now) = %v, want nil", err)
+		}
+		e.At(e.Now(), func() { order = append(order, 3) })
+		order = append(order, 1)
+	})
+	e.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("same-instant order = %v, want [1 2 3]", order)
+	}
+	if e.Now() != 50 {
+		t.Fatalf("clock = %v after same-instant events, want 50", e.Now())
+	}
+}
+
+func TestAtPanicsWithTypedError(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		r := recover()
+		pe, ok := r.(*PastEventError)
+		if !ok {
+			t.Fatalf("At panicked with %T (%v), want *PastEventError", r, r)
+		}
+		if pe.At != 3 || pe.Now != 10 {
+			t.Fatalf("panic fields At=%v Now=%v, want 3/10", pe.At, pe.Now)
+		}
+	}()
+	e.At(3, func() {})
+}
+
+func TestAfterNegativePanicsWithTypedError(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	e.Run()
+	defer func() {
+		if _, ok := recover().(*PastEventError); !ok {
+			t.Fatal("After(-d) did not panic with *PastEventError")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestTryAtNilFnStillPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TryAt(nil fn) did not panic")
+		}
+	}()
+	_, _ = e.TryAt(5, nil)
+}

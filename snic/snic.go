@@ -162,6 +162,19 @@ func WithTelemetry(tel *Telemetry) Option {
 	}
 }
 
+// WithInvariantChecks enables checked execution: every simulation
+// validates the engine's physical laws online — request and byte
+// conservation, causality, clock monotonicity, queue sanity — and
+// panics with a typed *invariant.Violation carrying the run label,
+// virtual time, station and request the moment one breaks. Results are
+// byte-identical with checks on or off (the checker is a pure observer);
+// the cost is bookkeeping proportional to events, so keep it off for
+// timing-sensitive benchmarking and on everywhere else. See
+// internal/invariant and `snicbench -check`.
+func WithInvariantChecks() Option {
+	return func(t *Testbed) { t.runner.Checks = true }
+}
+
 // WriteTrace writes all collected runs as Chrome trace-event JSON,
 // loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
 func (t *Telemetry) WriteTrace(w io.Writer) error { return t.c.WriteTrace(w) }
