@@ -34,9 +34,10 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Record sequential vs parallel wall-clock (and verify the two produce
-# identical results) for Fig. 4 and the S22 fleet simulation.
+# identical results) for Fig. 4, the S22 fleet simulation and the
+# pipeline saturation walks.
 bench-compare:
-	$(GO) run ./cmd/benchcompare -out BENCH_parallel.json -fleet-out BENCH_fleet.json
+	$(GO) run ./cmd/benchcompare -out BENCH_parallel.json -fleet-out BENCH_fleet.json -pipeline-out BENCH_pipeline.json
 
 # Regenerate the fault-scenario experiment family.
 faults:
@@ -47,7 +48,7 @@ faults:
 # queue sanity). Any broken law panics with a typed violation, so a
 # clean exit is the assertion.
 check: bin/snicbench
-	for e in fig4 fig5 table4 faults fleet; do \
+	for e in fig4 fig5 table4 faults fleet pipeline; do \
 		echo "checked: $$e"; \
 		./bin/snicbench -exp $$e -check -q > /dev/null || exit 1; \
 	done
@@ -66,6 +67,7 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzPlanValidate$$' -fuzztime $(FUZZTIME) ./internal/fault
 	$(GO) test -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime $(FUZZTIME) ./internal/fleet
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckedRun$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzPipelineRun$$' -fuzztime $(FUZZTIME) ./internal/core
 
 # Telemetry exports must be byte-identical at every parallelism: run the
 # same experiment sequentially and fully parallel and diff the traces.
@@ -84,4 +86,8 @@ trace-determinism:
 	cmp fleet_j1.txt fleet_jN.txt
 	cmp fleet_manifest_j1.json fleet_manifest_jN.json
 	rm -f fleet_j1.txt fleet_jN.txt fleet_manifest_j1.json fleet_manifest_jN.json
+	$(GO) run ./cmd/snicbench -exp pipeline -q -j 1 > pipeline_j1.txt
+	$(GO) run ./cmd/snicbench -exp pipeline -q -j $$(nproc) > pipeline_jN.txt
+	cmp pipeline_j1.txt pipeline_jN.txt
+	rm -f pipeline_j1.txt pipeline_jN.txt
 	@echo "trace determinism: OK"

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchcompare [-j N] [-out BENCH_parallel.json] [-fleet-out BENCH_fleet.json]
+//	benchcompare [-j N] [-out BENCH_parallel.json] [-fleet-out BENCH_fleet.json] [-pipeline-out BENCH_pipeline.json]
 package main
 
 import (
@@ -60,6 +60,7 @@ func main() {
 	jobs := flag.Int("j", runtime.NumCPU(), "parallelism for the parallel leg")
 	out := flag.String("out", "BENCH_parallel.json", "output path")
 	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "fleet comparison output path")
+	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json", "pipeline saturation comparison output path")
 	flag.Parse()
 
 	// The software-only group is the costliest Fig. 4 slice: enough work
@@ -137,4 +138,49 @@ func main() {
 		fc.Speedup = seqFleetSec / parFleetSec
 	}
 	writeComparison(fc, *fleetOut)
+
+	// The pipeline leg: both tax-chain exemplars' saturation walks under
+	// both fallback policies. Every sampled load point is an independent
+	// simulation, so the walk fans out cleanly.
+	pipeSpecs := func() []*snic.PipelineSpec {
+		var out []*snic.PipelineSpec
+		for _, mk := range []func() *snic.PipelineSpec{
+			snic.CryptoCompressSendPipeline, snic.NATIDSPipeline,
+		} {
+			for _, pol := range []snic.FallbackPolicy{snic.DropWhenFull{}, snic.SpillToHost{}} {
+				ps := mk()
+				ps.Fallback = pol
+				out = append(out, ps)
+			}
+		}
+		return out
+	}
+	runPipelines := func(j int) ([]snic.SaturationResult, float64, uint64) {
+		tb := snic.NewTestbed(snic.WithParallelism(j))
+		start := time.Now()
+		var walks []snic.SaturationResult
+		for _, ps := range pipeSpecs() {
+			walks = append(walks, tb.SaturationSearch(ps, snic.SaturationOpts{Seed: 42}))
+		}
+		return walks, time.Since(start).Seconds(), tb.Simulations()
+	}
+
+	seqPipe, seqPipeSec, seqPipeSims := runPipelines(1)
+	parPipe, parPipeSec, parPipeSims := runPipelines(*jobs)
+
+	pc := comparison{
+		Experiment:     "pipeline/saturation",
+		Benchmarks:     len(seqPipe),
+		CPUs:           runtime.NumCPU(),
+		Parallelism:    *jobs,
+		SequentialSec:  seqPipeSec,
+		ParallelSec:    parPipeSec,
+		Identical:      reflect.DeepEqual(seqPipe, parPipe),
+		SimsSequential: seqPipeSims,
+		SimsParallel:   parPipeSims,
+	}
+	if parPipeSec > 0 {
+		pc.Speedup = seqPipeSec / parPipeSec
+	}
+	writeComparison(pc, *pipelineOut)
 }

@@ -13,6 +13,7 @@
 //	snicbench -exp strategies        # §5.3 advisor + load balancer
 //	snicbench -exp faults            # trace replay under injected faults
 //	snicbench -exp fleet             # datacenter fleet + provisioning search
+//	snicbench -exp pipeline          # chained tax pipelines + saturation search
 //	snicbench -exp specs             # Tables 1 & 2 hardware specs
 //	snicbench -exp catalog           # Table 3 benchmark matrix
 //	snicbench -exp functional        # verify the real implementations
@@ -59,7 +60,7 @@ var validExps = []string{
 	"specs", "catalog", "functional",
 	"fig4", "fig5", "fig6", "fig7",
 	"table4", "table5",
-	"strategies", "faults", "fleet",
+	"strategies", "faults", "fleet", "pipeline",
 	"all",
 }
 
@@ -113,6 +114,7 @@ func main() {
 		"strategies": func() { runStrategies(opts) },
 		"faults":     func() { runFaults(opts) },
 		"fleet":      func() { runFleet(opts) },
+		"pipeline":   func() { runPipeline(opts) },
 		"specs":      runSpecs,
 		"catalog":    runCatalog,
 		"functional": runFunctional,
@@ -120,7 +122,7 @@ func main() {
 	if *exp == "all" {
 		// Same order the command has always used.
 		for _, e := range []string{"specs", "catalog", "functional", "fig4", "fig6",
-			"fig5", "fig7", "table4", "table5", "strategies", "faults", "fleet"} {
+			"fig5", "fig7", "table4", "table5", "strategies", "faults", "fleet", "pipeline"} {
 			run(e, dispatch[e])
 		}
 	} else if fn, ok := dispatch[*exp]; ok {
@@ -370,6 +372,39 @@ func runFleet(opts []snic.Option) {
 		os.Exit(1)
 	}
 	snic.RenderProvision(os.Stdout, prov)
+}
+
+// runPipeline measures the chained tax pipelines (§2's
+// crypto→compress→send and NAT→IDS sequences) under both fallback
+// policies. Each (pipeline, policy) pair gets a run_until_saturation
+// load walk; the knee rows come out first so the policies' distinct
+// knees read side by side, then the full curves follow. All simulation
+// happens before any rendering, so stdout is byte-identical at any -j.
+func runPipeline(opts []snic.Option) {
+	fmt.Println("== Multi-phase pipelines: heterogeneous fallback + saturation search ==")
+	tbed := snic.NewTestbed(opts...)
+	var fixed []snic.PipelineMeasurement
+	var walks []snic.SaturationResult
+	for _, mk := range []func() *snic.PipelineSpec{
+		snic.CryptoCompressSendPipeline, snic.NATIDSPipeline,
+	} {
+		for _, pol := range []snic.FallbackPolicy{snic.DropWhenFull{}, snic.SpillToHost{}} {
+			ps := mk()
+			ps.Fallback = pol
+			sat := tbed.SaturationSearch(ps, snic.SaturationOpts{Seed: 42})
+			walks = append(walks, sat)
+			knee := sat.Knee
+			if sat.KneeGbps <= 0 {
+				// Nothing sustained: report the lightest point instead of
+				// an empty row.
+				knee = sat.Points[0].M
+			}
+			fixed = append(fixed, knee)
+		}
+	}
+	snic.RenderPipeline(os.Stdout, fixed)
+	fmt.Println()
+	snic.RenderSaturation(os.Stdout, walks)
 }
 
 func runFunctional() {

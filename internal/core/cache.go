@@ -30,6 +30,7 @@ type measureCache struct {
 	runs         map[string]Measurement
 	replays      map[string]TraceReplayResult
 	servers      map[string]ServerReplay
+	pipelines    map[string]PipelineMeasurement
 	hits, misses uint64
 }
 
@@ -82,6 +83,23 @@ func (c *measureCache) storeServer(key string, s ServerReplay) {
 		c.servers = make(map[string]ServerReplay)
 	}
 	c.servers[key] = s
+}
+
+func (c *measureCache) lookupPipeline(key string) (PipelineMeasurement, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.pipelines[key]
+	c.note(ok)
+	return p, ok
+}
+
+func (c *measureCache) storePipeline(key string, p PipelineMeasurement) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pipelines == nil {
+		c.pipelines = make(map[string]PipelineMeasurement)
+	}
+	c.pipelines[key] = p
 }
 
 // note tallies hit/miss under the already-held lock.
@@ -145,6 +163,12 @@ func serverKey(cfg *Config, plat Platform, tbc TestbedConfig, rates []float64, i
 	tr := &trace.HyperscalerTrace{Interval: sim.Duration(interval), RatesGbps: rates}
 	return fmt.Sprintf("server|%s|@%s|tb:%+v|tr:%s|seed:%d|grp:%s",
 		cfg.cacheKey(), plat, tbc, traceFingerprint(tr), seed, group)
+}
+
+// pipelineKey is the memo key of one Runner.RunPipeline invocation: the
+// full spec (including the policy's Key) plus testbed and options.
+func pipelineKey(ps *PipelineSpec, tbc TestbedConfig, opts RunOpts) string {
+	return fmt.Sprintf("pipeline|%s|tb:%+v|opts:%+v", ps.key(), tbc, opts)
 }
 
 // TraceFingerprint exposes the trace hash for callers (package fleet)

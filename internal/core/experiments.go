@@ -181,10 +181,34 @@ func DefaultTable4Config() Table4Config {
 	}
 }
 
+// Validate rejects malformed replay parameters with a typed
+// *ParamError (the fault.Plan.Validate treatment): a missing trace,
+// non-positive interval compression or negative core counts would
+// otherwise surface as silent nonsense deep in the replay loop.
+func (tc Table4Config) Validate() error {
+	fail := func(param, reason string) error {
+		return &ParamError{Op: "table4", Param: param, Reason: reason}
+	}
+	if err := validTrace("replay", tc.Trace); err != nil {
+		return err
+	}
+	if tc.IntervalCompress <= 0 {
+		return fail("IntervalCompress", "must be positive")
+	}
+	if tc.HostCores < 0 {
+		return fail("HostCores", "must not be negative")
+	}
+	return nil
+}
+
 // Table4 replays the trace through REM on the host CPU and on the SNIC
 // accelerator — both platforms concurrently when parallelism allows —
-// and reports the table's rows in platform order.
+// and reports the table's rows in platform order. Invalid parameters
+// panic with the typed validation error.
 func (r *Runner) Table4(tc Table4Config) []TraceReplayResult {
+	if err := tc.Validate(); err != nil {
+		panic(err)
+	}
 	cfg := remMTU(trace.RuleSetExecutable)
 	plats := []Platform{HostCPU, SNICAccel}
 	tr := tc.Trace.Compress(tc.IntervalCompress)
@@ -205,6 +229,16 @@ func (r *Runner) Table4(tc Table4Config) []TraceReplayResult {
 // packet rate and measures the paper's Table 4 metrics. Replays memoize
 // like Run does, keyed additionally by the trace's fingerprint.
 func (r *Runner) ReplayTrace(cfg *Config, plat Platform, tr *trace.HyperscalerTrace, seed uint64) TraceReplayResult {
+	res, err := r.Execute(Workload{Kind: WorkloadReplay, Config: cfg, Platform: plat, Trace: tr, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	return *res.Replay
+}
+
+// replayTraceMemo is the memoized trace-replay implementation behind
+// Execute and ReplayTrace.
+func (r *Runner) replayTraceMemo(cfg *Config, plat Platform, tr *trace.HyperscalerTrace, seed uint64) TraceReplayResult {
 	key := replayKey(cfg, plat, r.TBConfig, tr, seed)
 	if res, ok := r.cache.lookupReplay(key); ok {
 		return res

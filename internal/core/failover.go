@@ -195,7 +195,20 @@ func (f FaultResult) String() string {
 // the SNIC accelerator and the host CPU and the failover policy's
 // timeout/retry machinery recovering lost requests. A scenario with an
 // empty plan is the fault-free baseline.
+//
+// RunFaulted is a thin adapter over Execute (the unified Workload API).
 func (r *Runner) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.HyperscalerTrace, hostCores int, seed uint64) FaultResult {
+	res, err := r.Execute(Workload{Kind: WorkloadFaulted, Scenario: &scn, Router: hr,
+		Trace: tr, HostCores: hostCores, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	return *res.Fault
+}
+
+// runFaultedImpl is the faulted-replay implementation behind
+// Execute and RunFaulted.
+func (r *Runner) runFaultedImpl(scn FaultScenario, hr *HealthRouter, tr *trace.HyperscalerTrace, hostCores int, seed uint64) FaultResult {
 	cfg := remMTU(trace.RuleSetExecutable)
 	pol := hr.Policy
 	rkey := fmt.Sprintf("fault|%s|tb:%+v|cores:%d|pol:%+v|lb:%+v|tr:%s|seed:%d",

@@ -57,6 +57,17 @@ func (s ServerReplay) DeliveredFrac() float64 {
 // is what makes a homogeneous 1000-server fleet under an even-split
 // policy cost one simulation instead of a thousand.
 func (r *Runner) ReplayServer(cfg *Config, plat Platform, rates []float64, interval sim.Duration, seed uint64, group string) ServerReplay {
+	res, err := r.Execute(Workload{Kind: WorkloadServer, Config: cfg, Platform: plat,
+		Rates: rates, Interval: interval, Seed: seed, Group: group})
+	if err != nil {
+		panic(err)
+	}
+	return *res.Server
+}
+
+// replayServerMemo is the memoized fleet-server implementation behind
+// Execute and ReplayServer.
+func (r *Runner) replayServerMemo(cfg *Config, plat Platform, rates []float64, interval sim.Duration, seed uint64, group string) ServerReplay {
 	key := serverKey(cfg, plat, r.TBConfig, rates, int64(interval), seed, group)
 	if res, ok := r.cache.lookupServer(key); ok {
 		return res

@@ -44,3 +44,49 @@ func FuzzCheckedRun(f *testing.F) {
 		}
 	})
 }
+
+// FuzzPipelineRun is the pipeline fuzzer: arbitrary (exemplar, policy,
+// queue cap, offered rate, seed) tuples run under checked execution.
+// Like FuzzCheckedRun it asserts invariants only — the whole-run and
+// per-phase conservation ledgers, causality and queue sanity validate
+// online and panic on violation — plus tally coherence: every injected
+// request must be accounted for phase by phase.
+func FuzzPipelineRun(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint16(50), uint64(1))
+	f.Add(uint8(1), uint8(3), uint16(600), uint64(99))
+	f.Add(uint8(2), uint8(250), uint16(0), uint64(12345))
+
+	f.Fuzz(func(t *testing.T, pi, qc uint8, rate uint16, seed uint64) {
+		specs := ExemplarPipelines()
+		ps := specs[int(pi)%len(specs)]
+		if pi%2 == 1 {
+			ps.Fallback = SpillToHost{Watermark: int(qc)%32 + 1}
+		}
+		if qc > 0 {
+			for i := range ps.Phases {
+				ps.Phases[i].QueueCap = int(qc)
+			}
+		}
+		r := NewRunner()
+		r.Checks = true
+		opts := RunOpts{
+			Requests:   250,
+			WarmupFrac: 0.1,
+			Seed:       seed,
+			// 0.05 .. ~80 Gb/s: idle through deep overload.
+			OfferedGbps: 0.05 + float64(rate%800)/10,
+		}
+		pm := r.RunPipeline(ps, opts)
+		if pm.Point.TputGbps < 0 || pm.Point.ServerPowerW < 0 || pm.Point.DeliveredFrac < 0 {
+			t.Fatalf("negative measurement: %+v", pm.Point)
+		}
+		upstream := uint64(opts.Requests)
+		for _, ph := range pm.Phases {
+			if n := ph.Served + ph.Spilled + ph.Dropped; n != upstream {
+				t.Fatalf("phase %q accounts for %d of %d upstream requests (%+v)",
+					ph.Name, n, upstream, pm.Phases)
+			}
+			upstream = ph.Served + ph.Spilled
+		}
+	})
+}

@@ -69,10 +69,47 @@ func (b BalancedResult) String() string {
 		b.Balancer.HWAssist, b.AvgTputGbps, b.P99, b.AvgPowerW, b.HostShare*100, b.SNICCPUUtil)
 }
 
+// Validate rejects malformed balancer parameters with a typed
+// *ParamError (the fault.Plan.Validate treatment): negative thresholds,
+// monitor costs or reaction intervals would silently disable the spill
+// logic or wedge the refresh loop.
+func (lb LoadBalancer) Validate() error {
+	fail := func(param, reason string) error {
+		return &ParamError{Op: "load balancer", Param: param, Reason: reason}
+	}
+	if lb.SpillQueueThreshold < 0 {
+		return fail("SpillQueueThreshold", "must not be negative")
+	}
+	if lb.MonitorCycles < 0 {
+		return fail("MonitorCycles", "must not be negative")
+	}
+	if lb.ReactInterval < 0 {
+		return fail("ReactInterval", "must not be negative")
+	}
+	if !lb.HWAssist && lb.ReactInterval == 0 {
+		return fail("ReactInterval", "must be positive for the software balancer")
+	}
+	return nil
+}
+
 // RunBalanced replays a rate trace of MTU REM packets through the
 // balancer: packets steer to the SNIC accelerator until its backlog
 // crosses the threshold, then spill to the host CPU pool.
+//
+// RunBalanced is a thin adapter over Execute (the unified Workload
+// API); invalid inputs panic with the typed validation error.
 func (r *Runner) RunBalanced(lb LoadBalancer, tr *trace.HyperscalerTrace, hostCores int, seed uint64) BalancedResult {
+	res, err := r.Execute(Workload{Kind: WorkloadBalanced, Balancer: &lb,
+		Trace: tr, HostCores: hostCores, Seed: seed})
+	if err != nil {
+		panic(err)
+	}
+	return *res.Balanced
+}
+
+// runBalancedImpl is the balanced-replay implementation behind Execute
+// and RunBalanced.
+func (r *Runner) runBalancedImpl(lb LoadBalancer, tr *trace.HyperscalerTrace, hostCores int, seed uint64) BalancedResult {
 	cfg := remMTU(trace.RuleSetExecutable)
 	seed = r.runSeed(seed)
 	tbc := r.TBConfig

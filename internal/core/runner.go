@@ -160,10 +160,23 @@ func (ctx *runctx) noteSent() {
 // point, simulating it the first time and serving the memoized result —
 // byte-identical by determinism — on every repeat of the same
 // (config, platform, testbed, options) key.
+//
+// Run is a thin adapter over Execute (the unified Workload API); it
+// keeps the legacy panic on an impossible (config, platform) pairing.
 func (r *Runner) Run(cfg *Config, plat Platform, opts RunOpts) Measurement {
 	if !cfg.HasPlatform(plat) {
 		panic(fmt.Sprintf("core: %s does not run on %s", cfg.Name(), plat))
 	}
+	res, err := r.Execute(Workload{Kind: WorkloadPoint, Config: cfg, Platform: plat, Opts: opts})
+	if err != nil {
+		panic(err)
+	}
+	return *res.Point
+}
+
+// runPoint is the memoized point-measurement implementation behind
+// Execute and Run.
+func (r *Runner) runPoint(cfg *Config, plat Platform, opts RunOpts) Measurement {
 	key := runKey(cfg, plat, r.TBConfig, opts)
 	if m, ok := r.cache.lookupRun(key); ok {
 		return m

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// The unified Workload API. Five run families grew five parallel entry
+// points (Run, ReplayTrace, ReplayServer, RunFaulted, RunBalanced);
+// pipelines would have been a sixth. Workload is the single spec that
+// subsumes them: Execute validates it with typed errors and dispatches
+// to the same memoized implementations the legacy methods use, so the
+// legacy methods are now thin adapters and their results byte-identical.
+
+// WorkloadKind selects a run family.
+type WorkloadKind string
+
+// The run families.
+const (
+	// WorkloadPoint is one (config, platform, operating point)
+	// measurement — the legacy Runner.Run.
+	WorkloadPoint WorkloadKind = "point"
+	// WorkloadReplay replays a rate trace through one config/platform —
+	// the legacy Runner.ReplayTrace (Table 4).
+	WorkloadReplay WorkloadKind = "replay"
+	// WorkloadServer is one fleet server's interval replay — the legacy
+	// Runner.ReplayServer.
+	WorkloadServer WorkloadKind = "server"
+	// WorkloadFaulted replays a fault scenario through the failover
+	// router — the legacy Runner.RunFaulted.
+	WorkloadFaulted WorkloadKind = "faulted"
+	// WorkloadBalanced replays a trace under the host/SNIC load
+	// balancer — the legacy Runner.RunBalanced.
+	WorkloadBalanced WorkloadKind = "balanced"
+	// WorkloadPipeline measures a multi-phase pipeline at one operating
+	// point.
+	WorkloadPipeline WorkloadKind = "pipeline"
+	// WorkloadSaturation walks a pipeline's offered load to the SLO
+	// knee under its fallback policy.
+	WorkloadSaturation WorkloadKind = "saturation"
+)
+
+// Workload is the single run spec. Kind selects the family; the other
+// fields are per-family inputs (unused fields are ignored by Validate
+// only when genuinely meaningless for the kind).
+type Workload struct {
+	Kind WorkloadKind
+
+	// Config/Platform drive point, replay and server workloads.
+	Config   *Config
+	Platform Platform
+	// Opts is the operating point for point and pipeline workloads.
+	Opts RunOpts
+
+	// Trace drives replay, faulted and balanced workloads.
+	Trace *trace.HyperscalerTrace
+	// Seed perturbs replay/server/faulted/balanced streams.
+	Seed uint64
+
+	// Rates/Interval/Group drive server workloads (fleet replay).
+	Rates    []float64
+	Interval sim.Duration
+	Group    string
+
+	// Scenario/Router drive faulted workloads.
+	Scenario *FaultScenario
+	Router   *HealthRouter
+	// HostCores overrides the host pool for faulted/balanced workloads.
+	HostCores int
+
+	// Balancer drives balanced workloads.
+	Balancer *LoadBalancer
+
+	// Pipeline drives pipeline and saturation workloads.
+	Pipeline *PipelineSpec
+	// Saturation shapes the saturation walk.
+	Saturation SaturationOpts
+}
+
+// Result is a tagged union: exactly the field matching Kind is set.
+type Result struct {
+	Kind WorkloadKind
+
+	Point      *Measurement
+	Replay     *TraceReplayResult
+	Server     *ServerReplay
+	Fault      *FaultResult
+	Balanced   *BalancedResult
+	Pipeline   *PipelineMeasurement
+	Saturation *SaturationResult
+}
+
+// WorkloadError is the typed validation error Execute rejects malformed
+// specs with.
+type WorkloadError struct {
+	Kind   WorkloadKind
+	Field  string
+	Reason string
+}
+
+// Error implements error.
+func (e *WorkloadError) Error() string {
+	return fmt.Sprintf("core: %s workload: %s %s", e.Kind, e.Field, e.Reason)
+}
+
+// Validate checks the spec for its kind, returning a typed
+// *WorkloadError (or a *PipelineError / *ParamError from the nested
+// spec validators) on the first problem.
+func (w *Workload) Validate() error {
+	fail := func(field, reason string) error {
+		return &WorkloadError{Kind: w.Kind, Field: field, Reason: reason}
+	}
+	if w.Opts.OfferedGbps < 0 {
+		return fail("Opts.OfferedGbps", "must not be negative")
+	}
+	if w.Opts.Requests < 0 {
+		return fail("Opts.Requests", "must not be negative")
+	}
+	if w.Opts.WarmupFrac < 0 || w.Opts.WarmupFrac >= 1 {
+		return fail("Opts.WarmupFrac", "must be in [0,1)")
+	}
+	if w.HostCores < 0 {
+		return fail("HostCores", "must not be negative")
+	}
+	switch w.Kind {
+	case WorkloadPoint:
+		if w.Config == nil {
+			return fail("Config", "must be set")
+		}
+		if !w.Config.HasPlatform(w.Platform) {
+			return fail("Platform", fmt.Sprintf("%s does not run on %s", w.Config.Name(), w.Platform))
+		}
+	case WorkloadReplay:
+		if w.Config == nil {
+			return fail("Config", "must be set")
+		}
+		if !w.Config.HasPlatform(w.Platform) {
+			return fail("Platform", fmt.Sprintf("%s does not run on %s", w.Config.Name(), w.Platform))
+		}
+		if err := validTrace(w.Kind, w.Trace); err != nil {
+			return err
+		}
+	case WorkloadServer:
+		if w.Config == nil {
+			return fail("Config", "must be set")
+		}
+		if !w.Config.HasPlatform(w.Platform) {
+			return fail("Platform", fmt.Sprintf("%s does not run on %s", w.Config.Name(), w.Platform))
+		}
+		if len(w.Rates) == 0 {
+			return fail("Rates", "must have at least one interval")
+		}
+		for _, rate := range w.Rates {
+			if rate < 0 {
+				return fail("Rates", "must not contain negative rates")
+			}
+		}
+		if w.Interval <= 0 {
+			return fail("Interval", "must be positive")
+		}
+	case WorkloadFaulted:
+		if w.Scenario == nil {
+			return fail("Scenario", "must be set")
+		}
+		if w.Router == nil {
+			return fail("Router", "must be set")
+		}
+		if err := validTrace(w.Kind, w.Trace); err != nil {
+			return err
+		}
+	case WorkloadBalanced:
+		if w.Balancer == nil {
+			return fail("Balancer", "must be set")
+		}
+		if err := w.Balancer.Validate(); err != nil {
+			return err
+		}
+		if err := validTrace(w.Kind, w.Trace); err != nil {
+			return err
+		}
+	case WorkloadPipeline:
+		if w.Pipeline == nil {
+			return fail("Pipeline", "must be set")
+		}
+		if err := w.Pipeline.Validate(); err != nil {
+			return err
+		}
+	case WorkloadSaturation:
+		if w.Pipeline == nil {
+			return fail("Pipeline", "must be set")
+		}
+		if err := w.Pipeline.Validate(); err != nil {
+			return err
+		}
+		if w.Saturation.Points < 0 {
+			return fail("Saturation.Points", "must not be negative")
+		}
+		if w.Saturation.MinGbps < 0 || w.Saturation.MaxGbps < 0 {
+			return fail("Saturation", "load bounds must not be negative")
+		}
+		if w.Saturation.Requests < 0 {
+			return fail("Saturation.Requests", "must not be negative")
+		}
+	default:
+		return fail("Kind", fmt.Sprintf("unknown kind %q", w.Kind))
+	}
+	return nil
+}
+
+// validTrace validates a rate trace input.
+func validTrace(kind WorkloadKind, tr *trace.HyperscalerTrace) error {
+	fail := func(field, reason string) error {
+		return &WorkloadError{Kind: kind, Field: field, Reason: reason}
+	}
+	if tr == nil {
+		return fail("Trace", "must be set")
+	}
+	if tr.Interval <= 0 {
+		return fail("Trace.Interval", "must be positive")
+	}
+	if len(tr.RatesGbps) == 0 {
+		return fail("Trace.RatesGbps", "must have at least one interval")
+	}
+	for _, rate := range tr.RatesGbps {
+		if rate < 0 {
+			return fail("Trace.RatesGbps", "must not contain negative rates")
+		}
+	}
+	return nil
+}
+
+// Execute validates w and runs it, returning the family's result in the
+// matching Result field. Every family is memoized and byte-identical at
+// any parallelism, exactly as through the legacy entry points (which
+// are now adapters over this method).
+func (r *Runner) Execute(w Workload) (Result, error) {
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	res := Result{Kind: w.Kind}
+	switch w.Kind {
+	case WorkloadPoint:
+		m := r.runPoint(w.Config, w.Platform, w.Opts)
+		res.Point = &m
+	case WorkloadReplay:
+		t := r.replayTraceMemo(w.Config, w.Platform, w.Trace, w.Seed)
+		res.Replay = &t
+	case WorkloadServer:
+		s := r.replayServerMemo(w.Config, w.Platform, w.Rates, w.Interval, w.Seed, w.Group)
+		res.Server = &s
+	case WorkloadFaulted:
+		f := r.runFaultedImpl(*w.Scenario, w.Router, w.Trace, w.HostCores, w.Seed)
+		res.Fault = &f
+	case WorkloadBalanced:
+		b := r.runBalancedImpl(*w.Balancer, w.Trace, w.HostCores, w.Seed)
+		res.Balanced = &b
+	case WorkloadPipeline:
+		p := r.RunPipeline(w.Pipeline, w.Opts)
+		res.Pipeline = &p
+	case WorkloadSaturation:
+		s := r.SaturationSearch(w.Pipeline, w.Saturation)
+		res.Saturation = &s
+	}
+	return res, nil
+}
+
+// ParamError is the typed validation error for legacy config structs
+// (Table4Config, LoadBalancer) — the fault.Plan.Validate treatment.
+type ParamError struct {
+	Op     string
+	Param  string
+	Reason string
+}
+
+// Error implements error.
+func (e *ParamError) Error() string {
+	return fmt.Sprintf("core: %s: %s %s", e.Op, e.Param, e.Reason)
+}

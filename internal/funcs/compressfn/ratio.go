@@ -1,0 +1,33 @@
+package compressfn
+
+import "sync"
+
+// ExpectedRatio measures the deflate ratio of one ChunkBytes corpus
+// chunk of the input class at PaperLevel — the calibration a pipeline's
+// compress phase uses to scale the payload it hands downstream. The
+// corpus generation is seeded, so the ratio is a deterministic property
+// of the input class; the deflate run is memoized per process.
+func ExpectedRatio(in Input) float64 {
+	ratioMu.Lock()
+	defer ratioMu.Unlock()
+	if r, ok := ratioMemo[in]; ok {
+		return r
+	}
+	data := GenCorpus(in, ChunkBytes, ratioSeed)
+	comp, err := Compress(data, PaperLevel)
+	if err != nil {
+		panic(err)
+	}
+	r := Ratio(data, comp)
+	ratioMemo[in] = r
+	return r
+}
+
+// ratioSeed fixes the calibration chunk; any seed works, but it must
+// never vary between calls or the ratio stops being a class property.
+const ratioSeed = 0x5eed
+
+var (
+	ratioMu   sync.Mutex
+	ratioMemo = map[Input]float64{}
+)

@@ -47,6 +47,14 @@ type Checker struct {
 	state                         map[uint64]uint8
 
 	stations map[string]*stationState
+
+	// Per-phase hop ledgers (pipeline runs); nil until the first
+	// PhaseEnter. phaseOrder keeps first-seen order for deterministic
+	// end-of-run verification; inPhase tracks each request's current
+	// phase.
+	phases     map[string]*phaseLedger
+	phaseOrder []string
+	inPhase    map[uint64]string
 }
 
 // New returns a fail-fast checker for the named run: the first violation
@@ -304,6 +312,7 @@ func (c *Checker) Finish(now sim.Time) error {
 			Detail: fmt.Sprintf("bytes in %d != completed %d + dropped %d",
 				c.bytesIn, c.bytesDone, c.bytesDrop)})
 	}
+	c.finishPhases(now)
 	return c.Err()
 }
 

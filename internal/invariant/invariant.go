@@ -54,6 +54,10 @@ const (
 	// RuleDispatch: the fleet dispatcher lost or invented rate mass in
 	// an interval (offered + backlog != assigned + lost + parked).
 	RuleDispatch Rule = "dispatch-conservation"
+	// RulePhase: a pipeline phase broke its hop ledger (entered !=
+	// exited + dropped, a request in two phases at once, or an exit
+	// from a phase the request never entered).
+	RulePhase Rule = "phase-conservation"
 	// RuleBijection: a translation table lost its two-way consistency.
 	RuleBijection Rule = "table-bijection"
 )

@@ -1,0 +1,134 @@
+package invariant
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Per-phase conservation ledger for multi-phase pipelines: every hop a
+// request takes through a named phase is audited the same way the
+// whole-run ledger audits injection/completion. The laws:
+//
+//   - a request is in at most one phase at a time;
+//   - a phase exit or drop matches the phase the request entered;
+//   - per phase, entered == exited + dropped at end of run;
+//   - no request is still inside a phase when the run finishes.
+//
+// The ledger allocates lazily on first PhaseEnter, so non-pipeline runs
+// pay nothing.
+
+// phaseLedger is one phase's hop accounting.
+type phaseLedger struct {
+	entered, exited, dropped uint64
+}
+
+// ensurePhases lazily allocates the phase ledger maps.
+func (c *Checker) ensurePhases() {
+	if c.phases == nil {
+		c.phases = make(map[string]*phaseLedger)
+		c.inPhase = make(map[uint64]string)
+	}
+}
+
+// phase returns (allocating) the named phase's ledger, tracking
+// first-seen order so end-of-run verification is deterministic.
+func (c *Checker) phase(name string) *phaseLedger {
+	pl, ok := c.phases[name]
+	if !ok {
+		pl = &phaseLedger{}
+		c.phases[name] = pl
+		c.phaseOrder = append(c.phaseOrder, name)
+	}
+	return pl
+}
+
+// PhaseEnter records a request entering a named phase. Nil-safe.
+func (c *Checker) PhaseEnter(phase string, seq uint64, now sim.Time) {
+	if c == nil {
+		return
+	}
+	c.advance(now)
+	c.ensurePhases()
+	if cur, ok := c.inPhase[seq]; ok {
+		c.violate(&Violation{Rule: RulePhase, Time: now, Station: phase, Request: seq,
+			Detail: fmt.Sprintf("entered while still in phase %q", cur)})
+		return
+	}
+	c.inPhase[seq] = phase
+	c.phase(phase).entered++
+}
+
+// PhaseExit records a request leaving the phase it entered. Nil-safe.
+func (c *Checker) PhaseExit(phase string, seq uint64, now sim.Time) {
+	if c == nil {
+		return
+	}
+	c.advance(now)
+	c.ensurePhases()
+	cur, ok := c.inPhase[seq]
+	switch {
+	case !ok:
+		c.violate(&Violation{Rule: RulePhase, Time: now, Station: phase, Request: seq,
+			Detail: "exited a phase it never entered"})
+		return
+	case cur != phase:
+		c.violate(&Violation{Rule: RulePhase, Time: now, Station: phase, Request: seq,
+			Detail: fmt.Sprintf("exited while in phase %q", cur)})
+		return
+	}
+	delete(c.inPhase, seq)
+	c.phase(phase).exited++
+}
+
+// PhaseDrop records a request shed inside the phase it entered.
+// Nil-safe.
+func (c *Checker) PhaseDrop(phase string, seq uint64, now sim.Time) {
+	if c == nil {
+		return
+	}
+	c.advance(now)
+	c.ensurePhases()
+	cur, ok := c.inPhase[seq]
+	switch {
+	case !ok:
+		c.violate(&Violation{Rule: RulePhase, Time: now, Station: phase, Request: seq,
+			Detail: "dropped in a phase it never entered"})
+		return
+	case cur != phase:
+		c.violate(&Violation{Rule: RulePhase, Time: now, Station: phase, Request: seq,
+			Detail: fmt.Sprintf("dropped while in phase %q", cur)})
+		return
+	}
+	delete(c.inPhase, seq)
+	c.phase(phase).dropped++
+}
+
+// PhaseEntered returns how many hops the named phase admitted. Nil-safe.
+func (c *Checker) PhaseEntered(phase string) uint64 {
+	if c == nil || c.phases == nil {
+		return 0
+	}
+	pl, ok := c.phases[phase]
+	if !ok {
+		return 0
+	}
+	return pl.entered
+}
+
+// finishPhases runs the end-of-run per-phase conservation checks, in
+// first-seen phase order (deterministic across runs).
+func (c *Checker) finishPhases(now sim.Time) {
+	for _, name := range c.phaseOrder {
+		pl := c.phases[name]
+		if pl.entered != pl.exited+pl.dropped {
+			c.violate(&Violation{Rule: RulePhase, Time: now, Station: name,
+				Detail: fmt.Sprintf("entered %d != exited %d + dropped %d",
+					pl.entered, pl.exited, pl.dropped)})
+		}
+	}
+	if n := len(c.inPhase); n > 0 {
+		c.violate(&Violation{Rule: RulePhase, Time: now,
+			Detail: fmt.Sprintf("%d requests still inside a phase at end of run", n)})
+	}
+}

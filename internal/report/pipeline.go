@@ -1,0 +1,73 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Pipeline renders multi-phase pipeline operating points: the familiar
+// throughput/latency/power row per measurement, then a per-phase
+// breakdown of where each request family's work ran (served on the
+// phase's own resource, spilled to a host core by the fallback policy,
+// or dropped at a full queue).
+func Pipeline(w io.Writer, ms []core.PipelineMeasurement) {
+	t := NewTable("Pipelines — multi-phase requests with heterogeneous fallback",
+		"pipeline", "policy", "offered Gb/s", "tput Gb/s", "delivered",
+		"p99", "spilled", "dropped", "power W")
+	for _, m := range ms {
+		t.Add(
+			m.Pipeline, m.Policy,
+			fmt.Sprintf("%.2f", m.Point.OfferedGbps),
+			fmt.Sprintf("%.2f", m.Point.TputGbps),
+			fmt.Sprintf("%.0f%%", m.Point.DeliveredFrac*100),
+			m.Point.Latency.P99.String(),
+			fmt.Sprintf("%d", m.Spilled),
+			fmt.Sprintf("%d", m.Dropped),
+			fmt.Sprintf("%.1f", m.Point.ServerPowerW),
+		)
+	}
+	t.Render(w)
+	pt := NewTable("  per-phase accounting",
+		"pipeline", "policy", "phase", "resource", "served", "spilled", "dropped")
+	for _, m := range ms {
+		for _, ph := range m.Phases {
+			pt.Add(
+				m.Pipeline, m.Policy, ph.Name, string(ph.Resource),
+				fmt.Sprintf("%d", ph.Served),
+				fmt.Sprintf("%d", ph.Spilled),
+				fmt.Sprintf("%d", ph.Dropped),
+			)
+		}
+	}
+	pt.Render(w)
+}
+
+// Saturation renders saturation-search load walks: one curve per
+// (pipeline, policy) with the knee — the highest offered load still
+// sustained at a reasonable p99 — marked on its row.
+func Saturation(w io.Writer, rs []core.SaturationResult) {
+	for _, r := range rs {
+		t := NewTable(
+			fmt.Sprintf("Saturation — %s [%s] (knee %.2f Gb/s)", r.Pipeline, r.Policy, r.KneeGbps),
+			"offered Gb/s", "tput Gb/s", "delivered", "p99", "spilled", "dropped", "knee")
+		for _, p := range r.Points {
+			mark := ""
+			//snicvet:ignore floateq knee is copied from the point's offered load, never recomputed
+			if r.KneeGbps > 0 && p.OfferedGbps == r.KneeGbps {
+				mark = "◄"
+			}
+			t.Add(
+				fmt.Sprintf("%.2f", p.OfferedGbps),
+				fmt.Sprintf("%.2f", p.M.Point.TputGbps),
+				fmt.Sprintf("%.0f%%", p.M.Point.DeliveredFrac*100),
+				p.M.Point.Latency.P99.String(),
+				fmt.Sprintf("%d", p.M.Spilled),
+				fmt.Sprintf("%d", p.M.Dropped),
+				mark,
+			)
+		}
+		t.Render(w)
+	}
+}

@@ -228,6 +228,11 @@ func (t *Testbed) MaxThroughput(b *Benchmark, p Platform) Measurement {
 
 // Run measures one fixed operating point (offered rate in Gb/s of
 // request payload; ignored by closed-loop benchmarks).
+//
+// Deprecated: Run is the point-workload adapter kept for
+// compatibility; new code should build a Workload (WorkloadPoint) and
+// call Execute, which validates inputs with typed errors. Results are
+// byte-identical either way.
 func (t *Testbed) Run(b *Benchmark, p Platform, offeredGbps float64, requests int) Measurement {
 	opts := core.DefaultRunOpts()
 	if requests > 0 {
@@ -313,6 +318,10 @@ func SoftwareBalancer() LoadBalancer { return core.DefaultLoadBalancer() }
 func HardwareBalancer() LoadBalancer { return core.HWLoadBalancer() }
 
 // RunBalanced replays a rate trace through the balancer.
+//
+// Deprecated: RunBalanced is the balanced-workload adapter kept for
+// compatibility; new code should build a Workload (WorkloadBalanced)
+// and call Execute. Results are byte-identical either way.
 func (t *Testbed) RunBalanced(lb LoadBalancer, tr *trace.HyperscalerTrace, hostCores int, seed uint64) BalancedResult {
 	return t.runner.RunBalanced(lb, tr, hostCores, seed)
 }
@@ -352,6 +361,10 @@ func DefaultFaultScenarios(span Duration) []FaultScenario {
 
 // RunFaulted replays a trace while a fault scenario runs, with failover.
 // A scenario with an empty plan is the fault-free baseline.
+//
+// Deprecated: RunFaulted is the faulted-workload adapter kept for
+// compatibility; new code should build a Workload (WorkloadFaulted)
+// and call Execute. Results are byte-identical either way.
 func (t *Testbed) RunFaulted(scn FaultScenario, hr *HealthRouter, tr *trace.HyperscalerTrace, hostCores int, seed uint64) FaultResult {
 	return t.runner.RunFaulted(scn, hr, tr, hostCores, seed)
 }
