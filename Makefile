@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: verify build test vet lint race bench bench-compare faults trace-determinism check fuzz-smoke
+.PHONY: verify build test vet lint race bench bench-compare faults trace-determinism check fuzz-smoke profile-smoke
 
 # Tier-1 verification: everything CI and reviewers gate on.
 verify: vet build race lint
@@ -35,9 +35,24 @@ bench:
 
 # Record sequential vs parallel wall-clock (and verify the two produce
 # identical results) for Fig. 4, the S22 fleet simulation and the
-# pipeline saturation walks.
+# pipeline saturation walks, plus the simulator's events/sec and the
+# enabled-telemetry overhead (budget: 15%).
 bench-compare:
-	$(GO) run ./cmd/benchcompare -out BENCH_parallel.json -fleet-out BENCH_fleet.json -pipeline-out BENCH_pipeline.json
+	$(GO) run ./cmd/benchcompare -out BENCH_parallel.json -fleet-out BENCH_fleet.json -pipeline-out BENCH_pipeline.json -events-out BENCH_events.json
+
+# Self-profile determinism: profile.json holds only virtual-state
+# counters, so two sequential runs of the same experiment must emit
+# byte-identical profiles (at -j>1 racing cache misses make the
+# aggregates scheduling-dependent, which is why the diff runs -j1); a
+# final -j$(nproc) run just has to parse. The stderr events/s line is
+# wall-clock and deliberately NOT part of the comparison.
+profile-smoke: bin/snicbench
+	./bin/snicbench -exp fig5 -q -j 1 -profile profile_a.json > /dev/null
+	./bin/snicbench -exp fig5 -q -j 1 -profile profile_b.json > /dev/null
+	cmp profile_a.json profile_b.json
+	./bin/snicbench -exp fig4 -func nat -q -j $$(nproc) -profile profile_jN.json > /dev/null
+	rm -f profile_a.json profile_b.json profile_jN.json
+	@echo "profile smoke: OK"
 
 # Regenerate the fault-scenario experiment family.
 faults:

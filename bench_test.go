@@ -290,6 +290,45 @@ func BenchmarkAblationKneeCriterion(b *testing.B) {
 	}
 }
 
+// BenchmarkFig4TelemetryOverhead runs the same Fig. 4 software subset
+// with telemetry off and on. The delta between the two sub-benchmarks
+// is the full cost of spans + gauges + manifests; the repo's budget is
+// 15%, and the benchcompare events leg (BENCH_events.json) records the
+// measured number per machine. The simulator's own events/s comes along
+// via the self-profiler.
+func BenchmarkFig4TelemetryOverhead(b *testing.B) {
+	var subset []*core.Config
+	for _, cfg := range core.Catalog() {
+		if cfg.Category == core.CategorySoftware {
+			subset = append(subset, cfg)
+		}
+		if len(subset) == 8 {
+			break
+		}
+	}
+	for _, tel := range []bool{false, true} {
+		name := "telemetry=off"
+		if tel {
+			name = "telemetry=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			prof := snic.NewProfiler()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				opts := []snic.Option{snic.WithSelfProfile(prof)}
+				if tel {
+					opts = append(opts, snic.WithTelemetry(snic.NewTelemetry()))
+				}
+				snic.NewTestbed(opts...).Fig4For(subset)
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(prof.Snapshot().Events)/sec, "events/s")
+			}
+		})
+	}
+}
+
 // BenchmarkEngineCore measures the raw simulation engine: events/second
 // of a saturated M/M/8 queue — the substrate every experiment rides on.
 func BenchmarkEngineCore(b *testing.B) {

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchcompare [-j N] [-out BENCH_parallel.json] [-fleet-out BENCH_fleet.json] [-pipeline-out BENCH_pipeline.json]
+//	benchcompare [-j N] [-out BENCH_parallel.json] [-fleet-out BENCH_fleet.json] [-pipeline-out BENCH_pipeline.json] [-events-out BENCH_events.json]
 package main
 
 import (
@@ -22,6 +22,27 @@ import (
 	"repro/snic"
 )
 
+// eventsComparison is the self-profiling record: the same workload run
+// with telemetry disabled and enabled, with the simulator's own event
+// counters alongside wall time. events/sec is the simulator's native
+// throughput unit — it is what the heap, the free list, and the span
+// pool actually move — so regressions show up here before they show up
+// in any one experiment's runtime.
+type eventsComparison struct {
+	Experiment           string  `json:"experiment"`
+	Benchmarks           int     `json:"benchmarks"`
+	CPUs                 int     `json:"cpus"`
+	Events               uint64  `json:"events"`
+	EventsEnabled        uint64  `json:"events_telemetry_enabled"`
+	HeapPeak             int     `json:"heap_peak"`
+	DisabledSec          float64 `json:"telemetry_disabled_sec"`
+	EnabledSec           float64 `json:"telemetry_enabled_sec"`
+	DisabledEventsPerSec float64 `json:"telemetry_disabled_events_per_sec"`
+	EnabledEventsPerSec  float64 `json:"telemetry_enabled_events_per_sec"`
+	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
+	Identical            bool    `json:"identical_results"`
+}
+
 // comparison is the JSON record benchcompare writes.
 type comparison struct {
 	Experiment     string  `json:"experiment"`
@@ -34,6 +55,17 @@ type comparison struct {
 	Identical      bool    `json:"identical_results"`
 	SimsSequential uint64  `json:"sims_sequential"`
 	SimsParallel   uint64  `json:"sims_parallel"`
+	// Knees records each saturation walk's knee (pipeline leg only) —
+	// the standing evidence that drop and spill measure *different*
+	// knees now that every engine exports a queue counter.
+	Knees []knee `json:"knees,omitempty"`
+}
+
+// knee is one (pipeline, policy) walk's located saturation knee.
+type knee struct {
+	Pipeline string  `json:"pipeline"`
+	Policy   string  `json:"policy"`
+	KneeGbps float64 `json:"knee_gbps"`
 }
 
 // writeComparison validates and records one seq-vs-parallel comparison.
@@ -61,6 +93,7 @@ func main() {
 	out := flag.String("out", "BENCH_parallel.json", "output path")
 	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "fleet comparison output path")
 	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json", "pipeline saturation comparison output path")
+	eventsOut := flag.String("events-out", "BENCH_events.json", "events/sec self-profile output path")
 	flag.Parse()
 
 	// The software-only group is the costliest Fig. 4 slice: enough work
@@ -182,5 +215,81 @@ func main() {
 	if parPipeSec > 0 {
 		pc.Speedup = seqPipeSec / parPipeSec
 	}
+	for _, w := range seqPipe {
+		pc.Knees = append(pc.Knees, knee{Pipeline: w.Pipeline, Policy: w.Policy, KneeGbps: w.KneeGbps})
+	}
 	writeComparison(pc, *pipelineOut)
+
+	// The events leg: the Fig. 4 software subset again, sequentially,
+	// with the self-profiler attached — once with telemetry off, once
+	// with a live collector. The off leg gives the simulator's native
+	// events/sec; the pair gives the enabled-telemetry overhead, which
+	// the repo bounds at 15%. Sequential runs keep the event count
+	// deterministic (no racing cache misses), and best-of-two wall
+	// times damp scheduler noise.
+	runEvents := func(withTelemetry bool) ([]core.Fig4Row, float64, snic.SelfProfile) {
+		best := -1.0
+		var rows []core.Fig4Row
+		var sp snic.SelfProfile
+		for rep := 0; rep < 2; rep++ {
+			prof := snic.NewProfiler()
+			opts := []snic.Option{snic.WithParallelism(1), snic.WithSelfProfile(prof)}
+			if withTelemetry {
+				opts = append(opts, snic.WithTelemetry(snic.NewTelemetry()))
+			}
+			tb := snic.NewTestbed(opts...)
+			start := time.Now()
+			rows = tb.Fig4For(subset)
+			if sec := time.Since(start).Seconds(); best < 0 || sec < best {
+				best = sec
+			}
+			sp = prof.Snapshot()
+		}
+		return rows, best, sp
+	}
+
+	offRows, offSec, offProf := runEvents(false)
+	onRows, onSec, onProf := runEvents(true)
+
+	ec := eventsComparison{
+		Experiment:  "fig4/software-events",
+		Benchmarks:  len(subset),
+		CPUs:        runtime.NumCPU(),
+		// The enabled leg executes more events — the gauge sampler's
+		// virtual-time tickers are real heap traffic — so the two
+		// counts are reported separately and only the results must
+		// match.
+		Events:        offProf.Events,
+		EventsEnabled: onProf.Events,
+		HeapPeak:      offProf.HeapPeak,
+		DisabledSec:   offSec,
+		EnabledSec:    onSec,
+		Identical:     reflect.DeepEqual(offRows, onRows),
+	}
+	if offSec > 0 {
+		ec.DisabledEventsPerSec = float64(offProf.Events) / offSec
+		ec.TelemetryOverheadPct = (onSec - offSec) / offSec * 100
+	}
+	if onSec > 0 {
+		ec.EnabledEventsPerSec = float64(onProf.Events) / onSec
+	}
+	if !ec.Identical {
+		fmt.Fprintln(os.Stderr, "benchcompare: fig4/software-events: TELEMETRY PERTURBS RESULTS")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(ec, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*eventsOut, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcompare:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d events, %.0f events/s off, %.0f events/s on, telemetry overhead %.1f%%, identical=%v\n",
+		ec.Experiment, ec.Events, ec.DisabledEventsPerSec, ec.EnabledEventsPerSec, ec.TelemetryOverheadPct, ec.Identical)
+	if ec.TelemetryOverheadPct > 15 {
+		fmt.Fprintf(os.Stderr, "benchcompare: warning: telemetry overhead %.1f%% exceeds the 15%% budget\n", ec.TelemetryOverheadPct)
+	}
 }

@@ -44,7 +44,9 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/cpu"
@@ -73,8 +75,11 @@ func main() {
 	traceOut := flag.String("trace", "", "write a Chrome/Perfetto trace of every simulated run to this file")
 	metricsOut := flag.String("metrics", "", "write sampled metrics to this file (.json for JSON, otherwise CSV)")
 	manifestOut := flag.String("manifest", "", "write per-run telemetry manifests (JSON) to this file")
+	profileOut := flag.String("profile", "", "write the simulator self-profile (events, heap depth, cache/pool traffic) as JSON to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a runtime/pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a runtime/pprof heap profile to this file")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: snicbench [-exp NAME] [-func FN] [-j N] [-q] [-check] [-trace F] [-metrics F] [-manifest F]\n\nexperiments:\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: snicbench [-exp NAME] [-func FN] [-j N] [-q] [-check] [-trace F] [-metrics F] [-manifest F] [-profile F] [-cpuprofile F] [-memprofile F]\n\nexperiments:\n")
 		for _, e := range validExps {
 			fmt.Fprintf(flag.CommandLine.Output(), "  %s\n", e)
 		}
@@ -96,6 +101,24 @@ func main() {
 	if *traceOut != "" || *metricsOut != "" || *manifestOut != "" {
 		tel = snic.NewTelemetry()
 		opts = append(opts, snic.WithTelemetry(tel))
+	}
+	var prof *snic.Profiler
+	if *profileOut != "" {
+		prof = snic.NewProfiler()
+		opts = append(opts, snic.WithSelfProfile(prof))
+	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snicbench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "snicbench: cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		defer pprof.StopCPUProfile()
 	}
 
 	// run dispatches one experiment, telling the progress line which
@@ -119,6 +142,7 @@ func main() {
 		"catalog":    runCatalog,
 		"functional": runFunctional,
 	}
+	start := time.Now()
 	if *exp == "all" {
 		// Same order the command has always used.
 		for _, e := range []string{"specs", "catalog", "functional", "fig4", "fig6",
@@ -132,6 +156,7 @@ func main() {
 			*exp, strings.Join(validExps, ", "))
 		os.Exit(2)
 	}
+	elapsed := time.Since(start)
 
 	if tel != nil {
 		writeOut(*traceOut, tel.WriteTrace)
@@ -143,6 +168,33 @@ func main() {
 			}
 		}
 		writeOut(*manifestOut, tel.WriteManifests)
+	}
+	if prof != nil {
+		// profile.json holds virtual-state counters only, so sequential
+		// profiles are byte-identical across runs; the wall-clock rate is
+		// advisory and goes to stderr.
+		writeOut(*profileOut, prof.WriteProfile)
+		sp := prof.Snapshot()
+		if sec := elapsed.Seconds(); sec > 0 && sp.Events > 0 {
+			fmt.Fprintf(os.Stderr, "self-profile: %d runs, %d events in %.2fs (%.0f events/s), heap peak %d\n",
+				sp.Runs, sp.Events, sec, float64(sp.Events)/sec, sp.HeapPeak)
+		}
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "snicbench: %v\n", err)
+			os.Exit(1)
+		}
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "snicbench: heap profile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "snicbench: closing %s: %v\n", *memProfile, err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -362,6 +362,13 @@ func (p *PKAEngine) Rejected() uint64 { return p.rejected }
 // Utilization returns the engine busy fraction.
 func (p *PKAEngine) Utilization() float64 { return p.station.Utilization() }
 
+// QueueLen returns commands waiting behind the engine. Hardware exposes
+// this as the command-count register delta (commands rung minus
+// completions DMA'd back); earlier versions of this model omitted the
+// read, which left spill policies blind to crypto backlog — a policy
+// watermark can only be as good as the counter beneath it.
+func (p *PKAEngine) QueueLen() int { return p.station.QueueLen() }
+
 // StagingCyclesPerTask is the SNIC CPU work to acquire one packet/buffer
 // with DPDK and stage it into an accelerator task. Sized so that exactly
 // two Arm cores keep the REM engine fed at its ~50 Gb/s maximum on MTU

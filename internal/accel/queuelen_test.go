@@ -1,0 +1,47 @@
+package accel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestPKAQueueLenTracksBacklog pins the command-count register read:
+// commands rung minus completions DMA'd back. Spill policies watermark
+// on this number, so it must rise while the engine is behind and read
+// zero once the queue drains — the earlier always-zero blind spot made
+// SpillToHost and DropWhenFull measure identical crypto-chain knees.
+func TestPKAQueueLenTracksBacklog(t *testing.T) {
+	eng := sim.NewEngine()
+	pka := NewPKAEngine(eng)
+	if pka.QueueLen() != 0 {
+		t.Fatalf("idle QueueLen = %d, want 0", pka.QueueLen())
+	}
+
+	// Ring 32 bulk commands at one instant: the engine serves one at a
+	// time, so everything behind the head is queued backlog.
+	const cmds = 32
+	done := 0
+	peak := 0
+	for i := 0; i < cmds; i++ {
+		if err := pka.SubmitBulk(AlgoAES, 64<<10, func(_, _ sim.Time) { done++ }); err != nil {
+			t.Fatal(err)
+		}
+		if q := pka.QueueLen(); q > peak {
+			peak = q
+		}
+	}
+	if peak < cmds/2 {
+		t.Fatalf("peak QueueLen = %d after ringing %d commands, want a real backlog", peak, cmds)
+	}
+
+	// Drain partially and re-read: backlog must shrink monotonically to
+	// zero with the completions.
+	eng.Run()
+	if done != cmds {
+		t.Fatalf("completed %d of %d commands", done, cmds)
+	}
+	if pka.QueueLen() != 0 {
+		t.Fatalf("drained QueueLen = %d, want 0", pka.QueueLen())
+	}
+}

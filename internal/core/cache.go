@@ -32,6 +32,8 @@ type measureCache struct {
 	servers      map[string]ServerReplay
 	pipelines    map[string]PipelineMeasurement
 	hits, misses uint64
+	// prof, when set, receives every lookup outcome (Runner.SetProfiler).
+	prof *Profiler
 }
 
 func (c *measureCache) lookupRun(key string) (Measurement, bool) {
@@ -109,6 +111,7 @@ func (c *measureCache) note(hit bool) {
 	} else {
 		c.misses++
 	}
+	c.prof.noteCache(hit)
 }
 
 func (c *measureCache) stats() (hits, misses uint64) {

@@ -59,7 +59,12 @@ func forEach(workers, n int, fn func(int)) {
 
 // forEachN fans fn across the runner's configured parallelism.
 func (r *Runner) forEachN(n int, fn func(int)) {
-	forEach(r.parallelism(), n, fn)
+	workers := r.parallelism()
+	if workers > n {
+		workers = n
+	}
+	r.Prof.notePool(workers, n)
+	forEach(workers, n, fn)
 }
 
 // ForEach is the exported fan-out for sibling packages (package fleet

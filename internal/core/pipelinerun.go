@@ -468,15 +468,17 @@ func (px *pipectx) engineSubmit(ph *PhaseSpec, size int, done func(start, end si
 	}
 }
 
-// engineQueueLen reads the phase's engine queue depth. The PKA exposes
-// no queue counter (command-register interface), so its backlog is the
-// staging queue alone.
+// engineQueueLen reads the phase's engine queue depth. Every engine now
+// exposes one — the PKA via its command-count register delta — so the
+// spill watermark sees backlog on all three fixed-function paths.
 func (px *pipectx) engineQueueLen(ph *PhaseSpec) int {
 	switch ph.Engine {
 	case EngineREM:
 		return px.tb.REM.QueueLen()
 	case EngineDeflate:
 		return px.tb.Deflate.QueueLen()
+	case EnginePKABulk, EnginePKAOp:
+		return px.tb.PKA.QueueLen()
 	default:
 		return 0
 	}
@@ -575,6 +577,7 @@ func (r *Runner) finishPipelineChecks(px *pipectx) {
 
 // finishPipelineRecorder stamps end-of-run counters. Nil-safe.
 func (r *Runner) finishPipelineRecorder(px *pipectx) {
+	r.Prof.NoteEngine(px.tb.Eng)
 	rec := px.rec
 	if rec == nil {
 		return
@@ -583,6 +586,14 @@ func (r *Runner) finishPipelineRecorder(px *pipectx) {
 	rec.SetCount("requests.completed", float64(px.done))
 	rec.SetCount("pool.shed", float64(px.pool.Dropped()))
 	rec.SetCount("wire.lost", float64(px.tb.Wire.Lost()))
+	// Per-phase accounting lands in the registry so manifests show where
+	// the fallback policy routed work, phase by phase.
+	for i := range px.tally {
+		scope := rec.Metrics().Scope("phase/" + px.tally[i].Name)
+		scope.Counter("served", "reqs").Set(float64(px.tally[i].Served))
+		scope.Counter("spilled", "reqs").Set(float64(px.tally[i].Spilled))
+		scope.Counter("dropped", "reqs").Set(float64(px.tally[i].Dropped))
+	}
 	r.Telemetry.Attach(rec)
 }
 

@@ -99,6 +99,11 @@ type Runner struct {
 	// *invariant.Violation on the first broken law. Off by default; see
 	// snic.WithInvariantChecks and internal/invariant.
 	Checks bool
+	// Prof, when set (via SetProfiler), aggregates simulator
+	// self-profiling — engine events, heap high-water, cancel sweeps,
+	// cache and pool traffic — across every simulation. Nil disables all
+	// self-profiling (the default); see snic.WithSelfProfile.
+	Prof *Profiler
 
 	cache  measureCache
 	sims   atomic.Uint64

@@ -83,6 +83,7 @@ func instrumentTestbed(tb *Testbed, rec *obs.Recorder, chk *invariant.Checker) {
 	rec.Gauge("engine/rem/util", "frac", 0, tb.REM.Utilization)
 	rec.Gauge("engine/deflate/queue", "batches", 0, func() float64 { return float64(tb.Deflate.QueueLen()) })
 	rec.Gauge("engine/deflate/util", "frac", 0, tb.Deflate.Utilization)
+	rec.Gauge("engine/pka/queue", "cmds", 0, func() float64 { return float64(tb.PKA.QueueLen()) })
 	rec.Gauge("engine/pka/util", "frac", 0, tb.PKA.Utilization)
 	rec.Gauge("wire/c2s/backlog", "s", 0, func() float64 { return tb.Wire.ServerDirBacklog().Seconds() })
 	rec.Gauge("wire/s2c/backlog", "s", 0, func() float64 { return tb.Wire.ClientDirBacklog().Seconds() })
@@ -97,6 +98,7 @@ func instrumentTestbed(tb *Testbed, rec *obs.Recorder, chk *invariant.Checker) {
 // finishRecorder stamps end-of-run counters and hands the recorder to
 // the collector. Nil-safe.
 func (r *Runner) finishRecorder(ctx *runctx) {
+	r.Prof.NoteEngine(ctx.tb.Eng)
 	rec := ctx.rec
 	if rec == nil {
 		return

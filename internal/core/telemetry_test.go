@@ -77,7 +77,7 @@ func TestTelemetryDoesNotPerturbMeasurement(t *testing.T) {
 // requires every export to be byte-identical.
 func TestTelemetryExportsIdenticalAcrossParallelism(t *testing.T) {
 	tr := shortBursty()
-	exports := func(par int) (trace, csv, manifests []byte) {
+	exports := func(par int) (trace, csv, manifests, metrics []byte) {
 		r := NewRunner()
 		r.Parallelism = par
 		r.Telemetry = obs.NewCollector()
@@ -85,7 +85,7 @@ func TestTelemetryExportsIdenticalAcrossParallelism(t *testing.T) {
 			return NewHealthRouter(HWLoadBalancer(), DefaultFailoverPolicy())
 		}
 		r.RunFaultedSet(DefaultFaultScenarios(tr.Duration()), mk, tr, 2, 7)
-		var bt, bc, bm bytes.Buffer
+		var bt, bc, bm, bj bytes.Buffer
 		if err := r.Telemetry.WriteTrace(&bt); err != nil {
 			t.Fatal(err)
 		}
@@ -95,10 +95,13 @@ func TestTelemetryExportsIdenticalAcrossParallelism(t *testing.T) {
 		if err := r.Telemetry.WriteManifests(&bm); err != nil {
 			t.Fatal(err)
 		}
-		return bt.Bytes(), bc.Bytes(), bm.Bytes()
+		if err := r.Telemetry.WriteMetricsJSON(&bj); err != nil {
+			t.Fatal(err)
+		}
+		return bt.Bytes(), bc.Bytes(), bm.Bytes(), bj.Bytes()
 	}
-	t1, c1, m1 := exports(1)
-	t8, c8, m8 := exports(8)
+	t1, c1, m1, j1 := exports(1)
+	t8, c8, m8, j8 := exports(8)
 	if !bytes.Equal(t1, t8) {
 		t.Error("trace export differs between parallelism 1 and 8")
 	}
@@ -107,6 +110,9 @@ func TestTelemetryExportsIdenticalAcrossParallelism(t *testing.T) {
 	}
 	if !bytes.Equal(m1, m8) {
 		t.Error("manifests differ between parallelism 1 and 8")
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Error("metrics JSON differs between parallelism 1 and 8")
 	}
 }
 

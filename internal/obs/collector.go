@@ -66,17 +66,22 @@ func (c *Collector) NewRecorder(runID uint64, label string) *Recorder {
 
 // Attach hands a finished recorder to the collector. Duplicate run IDs
 // (two workers raced the same memoized run; both simulated identical
-// event sequences) keep the first attached copy. Nil-safe on both
-// sides.
+// event sequences) keep the first attached copy; the loser's span
+// chunks go back on the free list immediately rather than waiting for
+// the garbage collector. Nil-safe on both sides.
 func (c *Collector) Attach(r *Recorder) {
 	if c == nil || r == nil {
 		return
 	}
 	c.mu.Lock()
-	if _, dup := c.byID[r.runID]; !dup {
+	_, dup := c.byID[r.runID]
+	if !dup {
 		c.byID[r.runID] = r
 	}
 	c.mu.Unlock()
+	if dup {
+		r.ReleaseSpans()
+	}
 }
 
 // Runs returns the attached recorders sorted by (label, runID) — the
@@ -145,9 +150,9 @@ func (r *Recorder) Manifest() RunManifest {
 	if r == nil {
 		return m
 	}
-	for _, k := range r.counterKeys {
-		m.Counters = append(m.Counters, Counter{Name: k, Value: r.counters[k]})
-	}
+	r.reg.EachCounter(func(name string, c *CounterMetric) {
+		m.Counters = append(m.Counters, Counter{Name: name, Value: c.Value()})
+	})
 	keys := append([]string(nil), r.resourceKeys...)
 	sort.Strings(keys)
 	for _, k := range keys {

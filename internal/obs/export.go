@@ -62,8 +62,8 @@ func (c *Collector) WriteTrace(w io.Writer) error {
 				pid, ti+1, strconv.Quote(track)))
 		}
 		reqTrack, hasReq := rec.trackIdx[TrackRequests]
-		for i := range rec.spans {
-			sp := &rec.spans[i]
+		for i := 0; i < rec.nspans; i++ {
+			sp := rec.spanAt(i)
 			id := SpanID(i + 1)
 			end := sp.end
 			if end == openEnd {

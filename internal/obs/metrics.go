@@ -20,15 +20,10 @@ type Series struct {
 	Values []float64
 }
 
-// gauge is a registered sampling closure feeding a Series.
-type gauge struct {
-	series *Series
-	fn     func() float64
-}
-
-// Gauge registers a sampled metric. fn is polled on the virtual-time
-// sampler at the given period (0 means DefaultSamplePeriod) and must be
-// a pure read of model state. Nil-safe.
+// Gauge registers a sampled metric in the run's registry. fn is polled
+// on the virtual-time sampler at the given period (0 means
+// DefaultSamplePeriod) and must be a pure read of model state. Series
+// names are unique per run. Nil-safe.
 func (r *Recorder) Gauge(name, unit string, period sim.Duration, fn func() float64) {
 	if r == nil {
 		return
@@ -36,16 +31,13 @@ func (r *Recorder) Gauge(name, unit string, period sim.Duration, fn func() float
 	if fn == nil {
 		panic("obs: nil gauge")
 	}
-	if period <= 0 {
-		period = DefaultSamplePeriod
-	}
-	s := &Series{Name: name, Unit: unit, Period: period}
-	r.series = append(r.series, s)
-	r.gauges = append(r.gauges, gauge{series: s, fn: fn})
+	g := r.reg.Gauge(name, unit, period, fn)
+	r.series = append(r.series, g.Series())
 }
 
 // AddSeries attaches a pre-sampled series (e.g. a power.Sensor trace
-// copied at end of run). Times and values are copied. Nil-safe.
+// copied at end of run) as a registry gauge with no sampling closure.
+// Times and values are copied. Nil-safe.
 func (r *Recorder) AddSeries(name, unit string, period sim.Duration, times []sim.Time, values []float64) {
 	if r == nil {
 		return
@@ -53,7 +45,7 @@ func (r *Recorder) AddSeries(name, unit string, period sim.Duration, times []sim
 	if len(times) != len(values) {
 		panic("obs: series length mismatch")
 	}
-	s := &Series{Name: name, Unit: unit, Period: period}
+	s := r.reg.Gauge(name, unit, period, nil).Series()
 	s.Times = append(s.Times, times...)
 	s.Values = append(s.Values, values...)
 	r.series = append(r.series, s)
@@ -80,32 +72,11 @@ func (r *Recorder) SampleCount() int {
 }
 
 // StartSampler begins polling registered gauges on eng's virtual-time
-// tickers. Gauges sharing a period share one ticker, every gauge is
-// sampled once immediately (the t=0 baseline), and sampling stops by
-// itself when the model drains (see sim.Engine.Ticker). Nil-safe.
+// tickers — see Registry.StartSampler, which this delegates to.
+// Nil-safe.
 func (r *Recorder) StartSampler(eng *sim.Engine) {
-	if r == nil || len(r.gauges) == 0 {
+	if r == nil {
 		return
 	}
-	byPeriod := make(map[sim.Duration][]gauge)
-	var periods []sim.Duration
-	for _, g := range r.gauges {
-		p := g.series.Period
-		if _, ok := byPeriod[p]; !ok {
-			periods = append(periods, p)
-		}
-		byPeriod[p] = append(byPeriod[p], g)
-	}
-	for _, p := range periods {
-		group := byPeriod[p]
-		sample := func() {
-			now := eng.Now()
-			for _, g := range group {
-				g.series.Times = append(g.series.Times, now)
-				g.series.Values = append(g.series.Values, g.fn())
-			}
-		}
-		sample()
-		eng.Ticker(p, sample)
-	}
+	r.reg.StartSampler(eng)
 }

@@ -13,6 +13,8 @@
 package obs
 
 import (
+	"sync"
+
 	"repro/internal/sim"
 )
 
@@ -38,6 +40,20 @@ type span struct {
 // and manifests count them.
 const openEnd = sim.Time(-1)
 
+// Spans are stored in fixed-size chunks rather than one growing slice.
+// A run records millions of spans, and slice growth re-copies the whole
+// backing array each time it doubles — profiled at ~25% of a
+// telemetry-enabled run before chunking. Chunks never move once
+// allocated, and retired recorders (deduplicated replays at -jN) hand
+// their chunks back to a free list instead of the garbage collector.
+const (
+	spanChunkShift = 12 // 4096 spans (96 KiB) per chunk
+	spanChunkSize  = 1 << spanChunkShift
+	spanChunkMask  = spanChunkSize - 1
+)
+
+var spanChunkPool = sync.Pool{New: func() any { return new([spanChunkSize]span) }}
+
 // resourceStats aggregates the observer callbacks per resource name.
 type resourceStats struct {
 	queued, started, finished, dropped uint64
@@ -59,13 +75,15 @@ type Recorder struct {
 	trackIdx map[string]uint16
 	names    []string
 	nameIdx  map[string]uint16
-	spans    []span
+	chunks   []*[spanChunkSize]span
+	nspans   int
 
+	// reg is the run's metric registry: counters (Count/SetCount) and
+	// sampled gauges (Gauge/AddSeries) both live here; the Recorder is
+	// the span layer over it. series keeps the registration-order view
+	// the exporters emit.
+	reg    *Registry
 	series []*Series
-	gauges []gauge
-
-	counters    map[string]float64
-	counterKeys []string // insertion order, for deterministic export
 
 	resources    map[string]*resourceStats
 	resourceKeys []string
@@ -80,9 +98,19 @@ func NewRecorder(runID uint64, label string) *Recorder {
 		label:     label,
 		trackIdx:  make(map[string]uint16),
 		nameIdx:   make(map[string]uint16),
-		counters:  make(map[string]float64),
+		reg:       NewRegistry(),
 		resources: make(map[string]*resourceStats),
 	}
+}
+
+// Metrics returns the run's metric registry, for callers that want the
+// typed handles or strict name-based writes directly. Nil-safe: a nil
+// recorder returns a nil registry, whose methods all no-op.
+func (r *Recorder) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
 }
 
 // RunID returns the recorder's deterministic run identifier.
@@ -121,24 +149,57 @@ func (r *Recorder) internName(name string) uint16 {
 	return i
 }
 
+// alloc reserves the next span slot, pulling a fresh chunk from the
+// free list when the current one fills. Slots are written in full by
+// every caller, so recycled chunk contents never leak into exports.
+func (r *Recorder) alloc() *span {
+	if r.nspans>>spanChunkShift == len(r.chunks) {
+		r.chunks = append(r.chunks, spanChunkPool.Get().(*[spanChunkSize]span))
+	}
+	sp := &r.chunks[r.nspans>>spanChunkShift][r.nspans&spanChunkMask]
+	r.nspans++
+	return sp
+}
+
+// spanAt returns the i-th recorded span (0-based). Callers bound i by
+// nspans.
+func (r *Recorder) spanAt(i int) *span {
+	return &r.chunks[i>>spanChunkShift][i&spanChunkMask]
+}
+
+// ReleaseSpans returns the recorder's span storage to the shared free
+// list and forgets every recorded span. The Collector calls this when
+// it discards a deduplicated replay of a run it already holds; after
+// release the recorder must not record or export spans.
+func (r *Recorder) ReleaseSpans() {
+	if r == nil {
+		return
+	}
+	for _, c := range r.chunks {
+		spanChunkPool.Put(c)
+	}
+	r.chunks = nil
+	r.nspans = 0
+}
+
 // Open starts a span on track at start and returns its ID. Nil-safe:
 // a nil recorder returns 0.
 func (r *Recorder) Open(track, name string, start sim.Time) SpanID {
 	if r == nil {
 		return 0
 	}
-	r.spans = append(r.spans, span{
+	*r.alloc() = span{
 		start: start, end: openEnd,
 		track: r.internTrack(track), name: r.internName(name),
-	})
-	return SpanID(len(r.spans))
+	}
+	return SpanID(r.nspans)
 }
 
 // OpenChild starts a span linked to parent. Nil-safe.
 func (r *Recorder) OpenChild(track, name string, parent SpanID, start sim.Time) SpanID {
 	id := r.Open(track, name, start)
 	if id != 0 {
-		r.spans[id-1].parent = parent
+		r.spanAt(int(id) - 1).parent = parent
 	}
 	return id
 }
@@ -146,10 +207,10 @@ func (r *Recorder) OpenChild(track, name string, parent SpanID, start sim.Time) 
 // Close ends an open span. Closing span 0 or an already-closed span is
 // a no-op. Nil-safe.
 func (r *Recorder) Close(id SpanID, end sim.Time) {
-	if r == nil || id == 0 || int(id) > len(r.spans) {
+	if r == nil || id == 0 || int(id) > r.nspans {
 		return
 	}
-	sp := &r.spans[id-1]
+	sp := r.spanAt(int(id) - 1)
 	if sp.end == openEnd {
 		sp.end = end
 	}
@@ -161,11 +222,11 @@ func (r *Recorder) Span(track, name string, parent SpanID, start, end sim.Time) 
 	if r == nil {
 		return 0
 	}
-	r.spans = append(r.spans, span{
+	*r.alloc() = span{
 		start: start, end: end, parent: parent,
 		track: r.internTrack(track), name: r.internName(name),
-	})
-	return SpanID(len(r.spans))
+	}
+	return SpanID(r.nspans)
 }
 
 // SpanView is the read-only export of one recorded span, with interned
@@ -184,8 +245,8 @@ func (r *Recorder) EachSpan(fn func(id SpanID, s SpanView)) {
 	if r == nil {
 		return
 	}
-	for i := range r.spans {
-		sp := &r.spans[i]
+	for i := 0; i < r.nspans; i++ {
+		sp := r.spanAt(i)
 		fn(SpanID(i+1), SpanView{
 			Track:  r.tracks[sp.track],
 			Name:   r.names[sp.name],
@@ -202,7 +263,7 @@ func (r *Recorder) SpanCount() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.spans)
+	return r.nspans
 }
 
 // RootCount returns the number of parentless spans on the requests
@@ -216,8 +277,9 @@ func (r *Recorder) RootCount() int {
 		return 0
 	}
 	n := 0
-	for i := range r.spans {
-		if r.spans[i].parent == 0 && r.spans[i].track == ti {
+	for i := 0; i < r.nspans; i++ {
+		sp := r.spanAt(i)
+		if sp.parent == 0 && sp.track == ti {
 			n++
 		}
 	}
@@ -230,34 +292,30 @@ func (r *Recorder) OpenCount() int {
 		return 0
 	}
 	n := 0
-	for i := range r.spans {
-		if r.spans[i].end == openEnd {
+	for i := 0; i < r.nspans; i++ {
+		if r.spanAt(i).end == openEnd {
 			n++
 		}
 	}
 	return n
 }
 
-// Count adds delta to a named counter. Nil-safe.
+// Count adds delta to a named counter, registering it on first use.
+// Nil-safe.
 func (r *Recorder) Count(name string, delta float64) {
 	if r == nil {
 		return
 	}
-	if _, ok := r.counters[name]; !ok {
-		r.counterKeys = append(r.counterKeys, name)
-	}
-	r.counters[name] += delta
+	r.reg.Counter(name, "").Add(delta)
 }
 
-// SetCount sets a named counter to an absolute value. Nil-safe.
+// SetCount sets a named counter to an absolute value, registering it on
+// first use. Nil-safe.
 func (r *Recorder) SetCount(name string, v float64) {
 	if r == nil {
 		return
 	}
-	if _, ok := r.counters[name]; !ok {
-		r.counterKeys = append(r.counterKeys, name)
-	}
-	r.counters[name] = v
+	r.reg.Counter(name, "").Set(v)
 }
 
 func (r *Recorder) resource(name string) *resourceStats {

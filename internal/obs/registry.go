@@ -1,0 +1,616 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Registry is the typed metric substrate of the telemetry layer: named
+// counters, sampled gauges and histograms registered per component.
+// A Registry belongs to one owner (a Recorder's run, or a Runner's
+// self-profile) and is driven from one goroutine at a time — callers
+// that share a Registry across workers serialize access themselves,
+// exactly as the Collector does for Recorders.
+//
+// Everything is deterministic: registration order is preserved for
+// insertion-ordered export (manifests), snapshots are name-sorted for
+// order-independent export (profiles, merges), and no wall-clock or map
+// iteration order ever reaches an exporter. A nil *Registry is the
+// "metrics off" state: every method no-ops and every registration
+// returns a nil handle whose methods also no-op, mirroring the
+// nil-Recorder contract.
+type Registry struct {
+	metrics map[string]*metricEntry
+	order   []string // registration order
+}
+
+// MetricKind discriminates the three metric types.
+type MetricKind int
+
+const (
+	// KindCounter is a monotonic (or set-once) accumulated value.
+	KindCounter MetricKind = iota
+	// KindGauge is a sampled instantaneous value feeding a Series.
+	KindGauge
+	// KindHistogram is a distribution over observed values.
+	KindHistogram
+)
+
+func (k MetricKind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// UnknownMetricError reports a write to a metric name nothing
+// registered. Writes are strict by design: a typo'd name silently
+// accumulating into nowhere is exactly the observability blind spot
+// this layer exists to close.
+type UnknownMetricError struct {
+	Name string
+}
+
+func (e *UnknownMetricError) Error() string {
+	return fmt.Sprintf("obs: write to unregistered metric %q", e.Name)
+}
+
+// KindMismatchError reports a name registered (or merged) under two
+// different metric kinds.
+type KindMismatchError struct {
+	Name       string
+	Have, Want MetricKind
+}
+
+func (e *KindMismatchError) Error() string {
+	return fmt.Sprintf("obs: metric %q is a %v, not a %v", e.Name, e.Have, e.Want)
+}
+
+// MergeConflictError reports a merge between two registries that both
+// sampled the same gauge. Gauge series belong to one run's timeline;
+// cross-run aggregation goes through the Collector, not Merge.
+type MergeConflictError struct {
+	Name string
+}
+
+func (e *MergeConflictError) Error() string {
+	return fmt.Sprintf("obs: merge conflict: gauge %q sampled by both registries", e.Name)
+}
+
+// metricEntry is one registered metric.
+type metricEntry struct {
+	kind    MetricKind
+	counter *CounterMetric
+	gauge   *GaugeMetric
+	hist    *HistogramMetric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metricEntry)}
+}
+
+func (r *Registry) lookup(name string, kind MetricKind) *metricEntry {
+	e, ok := r.metrics[name]
+	if !ok {
+		return nil
+	}
+	if e.kind != kind {
+		panic(&KindMismatchError{Name: name, Have: e.kind, Want: kind})
+	}
+	return e
+}
+
+func (r *Registry) insert(name string, e *metricEntry) {
+	r.metrics[name] = e
+	r.order = append(r.order, name)
+}
+
+// ---- typed handles ----
+
+// CounterMetric accumulates a named value. The zero/nil handle no-ops.
+type CounterMetric struct {
+	name, unit string
+	v          float64
+}
+
+// Add accumulates delta. Nil-safe.
+func (c *CounterMetric) Add(delta float64) {
+	if c != nil {
+		c.v += delta
+	}
+}
+
+// Set overwrites the accumulated value (end-of-run absolute counters).
+// Nil-safe.
+func (c *CounterMetric) Set(v float64) {
+	if c != nil {
+		c.v = v
+	}
+}
+
+// Value returns the accumulated value.
+func (c *CounterMetric) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return c.v
+}
+
+// GaugeMetric is a sampled metric: a sampling closure polled on the
+// virtual-time ticker, feeding a Series. A pre-sampled gauge (imported
+// sensor trace) has no closure and is never polled.
+type GaugeMetric struct {
+	series *Series
+	fn     func() float64
+}
+
+// Series returns the gauge's backing series.
+func (g *GaugeMetric) Series() *Series {
+	if g == nil {
+		return nil
+	}
+	return g.series
+}
+
+// Last returns the most recent sample, or 0 before the first.
+func (g *GaugeMetric) Last() float64 {
+	if g == nil || len(g.series.Values) == 0 {
+		return 0
+	}
+	return g.series.Values[len(g.series.Values)-1]
+}
+
+// HistogramMetric accumulates a distribution in power-of-two buckets:
+// bucket i holds observations with 2^(i-1) < |v| <= 2^i (bucket 0 holds
+// |v| <= 1). Bucketed sums merge exactly, so cross-run aggregation is
+// deterministic without retaining raw samples.
+type HistogramMetric struct {
+	name, unit string
+	count      uint64
+	sum        float64
+	min, max   float64
+	buckets    [64]uint64
+}
+
+// Observe records one value. Nil-safe.
+func (h *HistogramMetric) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	h.buckets[bucketOf(v)]++
+}
+
+// bucketOf maps |v| to its power-of-two bucket index.
+func bucketOf(v float64) int {
+	a := math.Abs(v)
+	if a <= 1 {
+		return 0
+	}
+	u := uint64(math.Ceil(a))
+	b := bits.Len64(u - 1) // ceil(log2(u))
+	if b > 63 {
+		b = 63
+	}
+	return b
+}
+
+// Count returns how many values were observed.
+func (h *HistogramMetric) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count
+}
+
+// Sum returns the sum of observed values.
+func (h *HistogramMetric) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum
+}
+
+// Mean returns the observed mean, or 0 with no observations.
+func (h *HistogramMetric) Mean() float64 {
+	if h == nil || h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Min and Max return the observed extrema (0 with no observations).
+func (h *HistogramMetric) Min() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observed value.
+func (h *HistogramMetric) Max() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.max
+}
+
+// ---- registration ----
+
+// Counter registers (or retrieves) a counter. Registering an existing
+// name under a different kind panics: that is a wiring bug, not a
+// runtime condition. Nil-safe: a nil registry returns a nil handle.
+func (r *Registry) Counter(name, unit string) *CounterMetric {
+	if r == nil {
+		return nil
+	}
+	if e := r.lookup(name, KindCounter); e != nil {
+		return e.counter
+	}
+	c := &CounterMetric{name: name, unit: unit}
+	r.insert(name, &metricEntry{kind: KindCounter, counter: c})
+	return c
+}
+
+// Gauge registers a sampled gauge. fn is polled on the virtual-time
+// sampler at period (0 means DefaultSamplePeriod) and must be a pure
+// read of model state; nil fn registers a pre-sampled gauge whose
+// series the caller fills (imported sensor traces). Nil-safe.
+func (r *Registry) Gauge(name, unit string, period sim.Duration, fn func() float64) *GaugeMetric {
+	if r == nil {
+		return nil
+	}
+	if e := r.lookup(name, KindGauge); e != nil {
+		return e.gauge
+	}
+	if period <= 0 {
+		period = DefaultSamplePeriod
+	}
+	g := &GaugeMetric{series: &Series{Name: name, Unit: unit, Period: period}, fn: fn}
+	r.insert(name, &metricEntry{kind: KindGauge, gauge: g})
+	return g
+}
+
+// Histogram registers (or retrieves) a histogram. Nil-safe.
+func (r *Registry) Histogram(name, unit string) *HistogramMetric {
+	if r == nil {
+		return nil
+	}
+	if e := r.lookup(name, KindHistogram); e != nil {
+		return e.hist
+	}
+	h := &HistogramMetric{name: name, unit: unit}
+	r.insert(name, &metricEntry{kind: KindHistogram, hist: h})
+	return h
+}
+
+// ---- strict name-based writes ----
+
+// Add accumulates delta into a registered counter. Writing an
+// unregistered name returns a typed *UnknownMetricError; a registered
+// non-counter returns a *KindMismatchError. Nil-safe (no-op, nil
+// error): with metrics off there is nothing to misspell against.
+func (r *Registry) Add(name string, delta float64) error {
+	if r == nil {
+		return nil
+	}
+	e, ok := r.metrics[name]
+	if !ok {
+		return &UnknownMetricError{Name: name}
+	}
+	if e.kind != KindCounter {
+		return &KindMismatchError{Name: name, Have: e.kind, Want: KindCounter}
+	}
+	e.counter.Add(delta)
+	return nil
+}
+
+// Set overwrites a registered counter's value, with Add's strictness.
+func (r *Registry) Set(name string, v float64) error {
+	if r == nil {
+		return nil
+	}
+	e, ok := r.metrics[name]
+	if !ok {
+		return &UnknownMetricError{Name: name}
+	}
+	if e.kind != KindCounter {
+		return &KindMismatchError{Name: name, Have: e.kind, Want: KindCounter}
+	}
+	e.counter.Set(v)
+	return nil
+}
+
+// Observe records a value into a registered histogram, with Add's
+// strictness.
+func (r *Registry) Observe(name string, v float64) error {
+	if r == nil {
+		return nil
+	}
+	e, ok := r.metrics[name]
+	if !ok {
+		return &UnknownMetricError{Name: name}
+	}
+	if e.kind != KindHistogram {
+		return &KindMismatchError{Name: name, Have: e.kind, Want: KindHistogram}
+	}
+	e.hist.Observe(v)
+	return nil
+}
+
+// ---- scoping ----
+
+// Scope returns a view that prefixes every registration and write with
+// "prefix/" — one component's corner of a shared registry.
+func (r *Registry) Scope(prefix string) *Scope {
+	if r == nil {
+		return nil
+	}
+	return &Scope{reg: r, prefix: prefix + "/"}
+}
+
+// Scope is a prefixed view of a Registry. A nil Scope no-ops.
+type Scope struct {
+	reg    *Registry
+	prefix string
+}
+
+// Counter registers prefix/name in the underlying registry.
+func (s *Scope) Counter(name, unit string) *CounterMetric {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Counter(s.prefix+name, unit)
+}
+
+// Gauge registers prefix/name in the underlying registry.
+func (s *Scope) Gauge(name, unit string, period sim.Duration, fn func() float64) *GaugeMetric {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Gauge(s.prefix+name, unit, period, fn)
+}
+
+// Histogram registers prefix/name in the underlying registry.
+func (s *Scope) Histogram(name, unit string) *HistogramMetric {
+	if s == nil {
+		return nil
+	}
+	return s.reg.Histogram(s.prefix+name, unit)
+}
+
+// ---- merge ----
+
+// Merge folds other into r: counters sum, histograms merge bucket-wise,
+// and metrics absent from r are adopted (gauge series copied). Both
+// operations are commutative and associative over snapshots, so merging
+// per-run registries in any order yields byte-identical exports. A
+// gauge sampled by both sides returns a *MergeConflictError (cross-run
+// series aggregation is the Collector's job); a name held under two
+// kinds returns a *KindMismatchError. Nil-safe on both sides.
+func (r *Registry) Merge(other *Registry) error {
+	if r == nil || other == nil {
+		return nil
+	}
+	for _, name := range other.order {
+		oe := other.metrics[name]
+		e, ok := r.metrics[name]
+		if !ok {
+			r.insert(name, copyEntry(oe))
+			continue
+		}
+		if e.kind != oe.kind {
+			return &KindMismatchError{Name: name, Have: e.kind, Want: oe.kind}
+		}
+		switch e.kind {
+		case KindCounter:
+			e.counter.v += oe.counter.v
+		case KindHistogram:
+			h, oh := e.hist, oe.hist
+			if oh.count > 0 {
+				if h.count == 0 || oh.min < h.min {
+					h.min = oh.min
+				}
+				if h.count == 0 || oh.max > h.max {
+					h.max = oh.max
+				}
+				h.count += oh.count
+				h.sum += oh.sum
+				for i := range h.buckets {
+					h.buckets[i] += oh.buckets[i]
+				}
+			}
+		case KindGauge:
+			if len(e.gauge.series.Times) > 0 && len(oe.gauge.series.Times) > 0 {
+				return &MergeConflictError{Name: name}
+			}
+			if len(oe.gauge.series.Times) > 0 {
+				e.gauge.series.Times = append([]sim.Time(nil), oe.gauge.series.Times...)
+				e.gauge.series.Values = append([]float64(nil), oe.gauge.series.Values...)
+			}
+		}
+	}
+	return nil
+}
+
+// copyEntry deep-copies a metric entry so merged registries never alias
+// the source's mutable state.
+func copyEntry(e *metricEntry) *metricEntry {
+	out := &metricEntry{kind: e.kind}
+	switch e.kind {
+	case KindCounter:
+		c := *e.counter
+		out.counter = &c
+	case KindHistogram:
+		h := *e.hist
+		out.hist = &h
+	case KindGauge:
+		s := &Series{Name: e.gauge.series.Name, Unit: e.gauge.series.Unit, Period: e.gauge.series.Period}
+		s.Times = append(s.Times, e.gauge.series.Times...)
+		s.Values = append(s.Values, e.gauge.series.Values...)
+		out.gauge = &GaugeMetric{series: s}
+	}
+	return out
+}
+
+// ---- sampling ----
+
+// StartSampler begins polling registered gauge closures on eng's
+// virtual-time tickers. Gauges sharing a period share one ticker, every
+// gauge is sampled once immediately (the t=0 baseline), and sampling
+// stops by itself when the model drains (see sim.Engine.Ticker).
+// Nil-safe.
+func (r *Registry) StartSampler(eng *sim.Engine) {
+	if r == nil {
+		return
+	}
+	byPeriod := make(map[sim.Duration][]*GaugeMetric)
+	var periods []sim.Duration
+	for _, name := range r.order {
+		e := r.metrics[name]
+		if e.kind != KindGauge || e.gauge.fn == nil {
+			continue
+		}
+		p := e.gauge.series.Period
+		if _, ok := byPeriod[p]; !ok {
+			periods = append(periods, p)
+		}
+		byPeriod[p] = append(byPeriod[p], e.gauge)
+	}
+	for _, p := range periods {
+		group := byPeriod[p]
+		sample := func() {
+			now := eng.Now()
+			for _, g := range group {
+				g.series.Times = append(g.series.Times, now)
+				g.series.Values = append(g.series.Values, g.fn())
+			}
+		}
+		sample()
+		eng.Ticker(p, sample)
+	}
+}
+
+// ---- export ----
+
+// MetricValue is one metric's exported state: the scalar summary for
+// counters and gauges, the aggregate for histograms.
+type MetricValue struct {
+	Name string `json:"name"`
+	Kind string `json:"kind"`
+	Unit string `json:"unit,omitempty"`
+	// Value is the counter total, the gauge's last sample, or the
+	// histogram sum.
+	Value float64 `json:"value"`
+	// Count is histogram observations (also gauge sample count).
+	Count uint64  `json:"count,omitempty"`
+	Min   float64 `json:"min,omitempty"`
+	Max   float64 `json:"max,omitempty"`
+}
+
+// Snapshot returns every metric's current state, name-sorted — the
+// deterministic export order, independent of registration order.
+func (r *Registry) Snapshot() []MetricValue {
+	if r == nil {
+		return nil
+	}
+	names := append([]string(nil), r.order...)
+	sort.Strings(names)
+	out := make([]MetricValue, 0, len(names))
+	for _, name := range names {
+		e := r.metrics[name]
+		mv := MetricValue{Name: name, Kind: e.kind.String()}
+		switch e.kind {
+		case KindCounter:
+			mv.Unit = e.counter.unit
+			mv.Value = e.counter.v
+		case KindGauge:
+			mv.Unit = e.gauge.series.Unit
+			mv.Value = e.gauge.Last()
+			mv.Count = uint64(len(e.gauge.series.Times))
+		case KindHistogram:
+			mv.Unit = e.hist.unit
+			mv.Value = e.hist.sum
+			mv.Count = e.hist.count
+			mv.Min = e.hist.min
+			mv.Max = e.hist.max
+		}
+		out = append(out, mv)
+	}
+	return out
+}
+
+// EachCounter calls fn for every registered counter in registration
+// order — the insertion-ordered export manifests use. Nil-safe.
+func (r *Registry) EachCounter(fn func(name string, c *CounterMetric)) {
+	if r == nil {
+		return
+	}
+	for _, name := range r.order {
+		if e := r.metrics[name]; e.kind == KindCounter {
+			fn(name, e.counter)
+		}
+	}
+}
+
+// Len returns how many metrics are registered.
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.order)
+}
+
+// WriteJSON writes the name-sorted snapshot as one JSON array, built
+// with the same exact formatting rules as the other exporters (strconv
+// shortest-float, no map order) so output is byte-identical across
+// processes and parallelism.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	snap := r.Snapshot()
+	for i, mv := range snap {
+		fmt.Fprintf(bw, " {\"name\":%q,\"kind\":%q", mv.Name, mv.Kind)
+		if mv.Unit != "" {
+			fmt.Fprintf(bw, ",\"unit\":%q", mv.Unit)
+		}
+		fmt.Fprintf(bw, ",\"value\":%s", ffloat(mv.Value))
+		if mv.Count != 0 {
+			fmt.Fprintf(bw, ",\"count\":%d", mv.Count)
+		}
+		if mv.Kind == KindHistogram.String() {
+			fmt.Fprintf(bw, ",\"min\":%s,\"max\":%s", ffloat(mv.Min), ffloat(mv.Max))
+		}
+		if i < len(snap)-1 {
+			bw.WriteString("},\n")
+		} else {
+			bw.WriteString("}\n")
+		}
+	}
+	if _, err := bw.WriteString("]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

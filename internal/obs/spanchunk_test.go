@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// Spans live in fixed chunks; the interesting cases are the boundary
+// (IDs spanning two chunks) and release (chunks going back to the free
+// list when the Collector drops a deduplicated recorder).
+
+func TestSpanChunkBoundary(t *testing.T) {
+	r := NewRecorder(1, "chunks")
+	const n = spanChunkSize + spanChunkSize/2
+	ids := make([]SpanID, n)
+	for i := 0; i < n; i++ {
+		ids[i] = r.Open(TrackRequests, "request", sim.Time(i))
+	}
+	if r.SpanCount() != n {
+		t.Fatalf("SpanCount = %d, want %d", r.SpanCount(), n)
+	}
+	// Close one span on each side of the boundary and the last one.
+	for _, i := range []int{0, spanChunkSize - 1, spanChunkSize, n - 1} {
+		r.Close(ids[i], sim.Time(i+10))
+	}
+	if got := r.OpenCount(); got != n-4 {
+		t.Fatalf("OpenCount = %d, want %d", got, n-4)
+	}
+	seen := 0
+	r.EachSpan(func(id SpanID, s SpanView) {
+		seen++
+		if s.Start != sim.Time(int(id)-1) {
+			t.Fatalf("span %d start = %v, want %v", id, s.Start, sim.Time(int(id)-1))
+		}
+	})
+	if seen != n {
+		t.Fatalf("EachSpan yielded %d spans, want %d", seen, n)
+	}
+	if r.RootCount() != n {
+		t.Fatalf("RootCount = %d, want %d", r.RootCount(), n)
+	}
+
+	// Out-of-range and zero IDs stay no-ops at chunked sizes too.
+	r.Close(0, 1)
+	r.Close(SpanID(n+1), 1)
+}
+
+func TestCollectorReleasesDuplicateSpans(t *testing.T) {
+	c := NewCollector()
+	first := c.NewRecorder(42, "run")
+	first.Span(TrackRequests, "request", 0, 0, 1)
+	c.Attach(first)
+
+	dup := c.NewRecorder(42, "run")
+	dup.Span(TrackRequests, "request", 0, 0, 1)
+	c.Attach(dup)
+
+	// The first copy is kept intact; the loser's chunks were released.
+	if dup.SpanCount() != 0 || len(dup.chunks) != 0 {
+		t.Fatalf("duplicate recorder kept %d spans in %d chunks after Attach", dup.SpanCount(), len(dup.chunks))
+	}
+	runs := c.Runs()
+	if len(runs) != 1 || runs[0] != first || runs[0].SpanCount() != 1 {
+		t.Fatalf("collector kept %d runs, first has %d spans", len(runs), runs[0].SpanCount())
+	}
+}

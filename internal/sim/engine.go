@@ -24,6 +24,14 @@ type Engine struct {
 	// tickerPending counts queued Ticker events so a firing ticker can
 	// tell whether anything besides tickers is left (see Ticker).
 	tickerPending int
+	// free recycles fired event records so a steady-state run allocates
+	// no events after its heap reaches peak depth (telemetry-heavy runs
+	// schedule one event per sample on top of the model's own).
+	free []*event
+	// heapPeak is the queue's high-water mark; cancelSweeps counts eager
+	// sweeps of cancelled entries. Both feed Profile.
+	heapPeak     int
+	cancelSweeps uint64
 }
 
 // NewEngine returns an engine with the clock at zero and an empty queue.
@@ -41,6 +49,49 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // Pending reports how many events are waiting in the queue (including
 // cancelled events that have not yet been lazily discarded).
 func (e *Engine) Pending() int { return len(e.queue) }
+
+// LivePending reports how many queued events will actually fire —
+// Pending minus cancelled-but-not-yet-discarded ghosts. It scans the
+// queue (O(pending)), so it is for progress and profile reporting, not
+// per-event hot paths; Pending stays the O(1) raw count.
+func (e *Engine) LivePending() int {
+	if len(e.cancelled) == 0 {
+		return len(e.queue)
+	}
+	n := 0
+	for _, ev := range e.queue {
+		if _, dead := e.cancelled[ev.id]; !dead {
+			n++
+		}
+	}
+	return n
+}
+
+// Profile is a snapshot of the engine's self-profiling counters: how
+// much work the scheduler did and how deep its structures got. All
+// values are deterministic functions of the model, never of wall time.
+type Profile struct {
+	// Executed is the number of events fired so far.
+	Executed uint64
+	// HeapPeak is the event queue's high-water mark.
+	HeapPeak int
+	// CancelSweeps counts eager sweeps of cancelled entries.
+	CancelSweeps uint64
+	// Pending and LivePending snapshot the queue as Pending/LivePending
+	// would report it.
+	Pending, LivePending int
+}
+
+// Profile snapshots the engine's self-profiling counters.
+func (e *Engine) Profile() Profile {
+	return Profile{
+		Executed:     e.executed,
+		HeapPeak:     e.heapPeak,
+		CancelSweeps: e.cancelSweeps,
+		Pending:      e.Pending(),
+		LivePending:  e.LivePending(),
+	}
+}
 
 // EventID identifies a scheduled event so it can be cancelled.
 type EventID uint64
@@ -74,8 +125,31 @@ func (e *Engine) TryAt(t Time, fn func()) (EventID, error) {
 	e.nextID++
 	id := e.nextID
 	e.seq++
-	heap.Push(&e.queue, &event{at: t, seq: e.seq, id: id, fn: fn})
+	heap.Push(&e.queue, e.newEvent(t, e.seq, id, fn))
+	if len(e.queue) > e.heapPeak {
+		e.heapPeak = len(e.queue)
+	}
 	return EventID(id), nil
+}
+
+// newEvent takes a record off the free list, or allocates when the pool
+// is dry (cold start, or the heap growing past its previous peak).
+func (e *Engine) newEvent(at Time, seq, id uint64, fn func()) *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		*ev = event{at: at, seq: seq, id: id, fn: fn}
+		return ev
+	}
+	return &event{at: at, seq: seq, id: id, fn: fn}
+}
+
+// recycle returns a popped event record to the free list. The closure
+// reference is cleared so recycled records never pin model state.
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
@@ -125,6 +199,8 @@ func (e *Engine) sweepCancelled() {
 	for _, ev := range e.queue {
 		if _, dead := e.cancelled[ev.id]; !dead {
 			kept = append(kept, ev)
+		} else {
+			e.recycle(ev)
 		}
 	}
 	for i := len(kept); i < len(e.queue); i++ {
@@ -133,6 +209,7 @@ func (e *Engine) sweepCancelled() {
 	e.queue = kept
 	heap.Init(&e.queue)
 	e.cancelled = make(map[uint64]struct{})
+	e.cancelSweeps++
 }
 
 // CancelledPending reports how many cancelled-but-not-yet-discarded event
@@ -146,11 +223,16 @@ func (e *Engine) Step() bool {
 		ev := heap.Pop(&e.queue).(*event)
 		if _, dead := e.cancelled[ev.id]; dead {
 			delete(e.cancelled, ev.id)
+			e.recycle(ev)
 			continue
 		}
 		e.now = ev.at
 		e.executed++
-		ev.fn()
+		fn := ev.fn
+		// Recycled before firing so events the handler schedules reuse
+		// this record immediately.
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false

@@ -1,0 +1,143 @@
+package sim
+
+import "testing"
+
+// The engine's self-profiling counters feed the -profile export, so
+// their semantics are pinned here: LivePending sees through cancelled
+// ghosts, HeapPeak is a true high-water mark, and the event free list
+// actually recycles records instead of leaking or double-using them.
+
+func TestLivePendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	var ids []EventID
+	for i := 0; i < 10; i++ {
+		ids = append(ids, e.At(Time(i+1), func() {}))
+	}
+	if e.Pending() != 10 || e.LivePending() != 10 {
+		t.Fatalf("pending = %d/%d live, want 10/10", e.Pending(), e.LivePending())
+	}
+	for _, id := range ids[:4] {
+		e.Cancel(id)
+	}
+	// Below the sweep floor nothing is discarded eagerly: the raw count
+	// keeps the ghosts, the live count must not.
+	if e.Pending() != 10 {
+		t.Fatalf("Pending = %d after lazy cancels, want 10 (ghosts retained)", e.Pending())
+	}
+	if e.LivePending() != 6 {
+		t.Fatalf("LivePending = %d, want 6", e.LivePending())
+	}
+	e.Run()
+	if e.Pending() != 0 || e.LivePending() != 0 {
+		t.Fatalf("queue not drained: %d/%d", e.Pending(), e.LivePending())
+	}
+	if got := e.Profile(); got.Executed != 6 {
+		t.Fatalf("executed %d events, want the 6 live ones", got.Executed)
+	}
+}
+
+func TestProfileHeapPeakAndSweeps(t *testing.T) {
+	e := NewEngine()
+	// The cancel-heavy shape that forces eager sweeps: every completion
+	// disarms its own (already-fired) guard, so the cancelled set grows
+	// while the queue shrinks until the sweep condition trips.
+	ids := make([]EventID, 200)
+	for i := 0; i < 200; i++ {
+		i := i
+		ids[i] = e.At(Time(i+1), func() { e.Cancel(ids[i]) })
+	}
+	if p := e.Profile(); p.HeapPeak != 200 {
+		t.Fatalf("HeapPeak = %d, want 200", p.HeapPeak)
+	}
+	e.Run()
+	p := e.Profile()
+	if p.Executed != 200 {
+		t.Fatalf("Executed = %d, want 200 (cancelling a fired event must not unfire it)", p.Executed)
+	}
+	if p.CancelSweeps == 0 {
+		t.Fatal("200 disarm-after-fire cancels never triggered an eager sweep")
+	}
+	if p.HeapPeak != 200 || p.Pending != 0 || p.LivePending != 0 {
+		t.Fatalf("final profile = %+v", p)
+	}
+	if e.CancelledPending() > cancelSweepFloor {
+		t.Fatalf("cancelled set leaked %d entries past the sweep floor", e.CancelledPending())
+	}
+}
+
+// TestEventFreeListRecycles drives fire→schedule cycles and checks the
+// engine reuses event records rather than growing the pool: after the
+// first lap around the loop, steady-state scheduling should allocate
+// nothing new.
+func TestEventFreeListRecycles(t *testing.T) {
+	e := NewEngine()
+	n := 0
+	var loop func()
+	loop = func() {
+		if n++; n < 1000 {
+			e.After(Microsecond, loop)
+		}
+	}
+	e.After(Microsecond, loop)
+	e.Run()
+	if n != 1000 {
+		t.Fatalf("loop ran %d times, want 1000", n)
+	}
+	// One event in flight at a time: the record fired first, was
+	// recycled, and every reschedule reused it — the free list holds at
+	// most the single steady-state record, not 1000 retired ones.
+	if len(e.free) > 1 {
+		t.Fatalf("free list holds %d records after a 1-deep loop, want <=1 (no recycling?)", len(e.free))
+	}
+
+	// And recycled records never pin closures.
+	for _, ev := range e.free {
+		if ev.fn != nil {
+			t.Fatal("recycled event still references its closure")
+		}
+	}
+}
+
+// TestFreeListDeterminism replays the same cancel-heavy schedule on a
+// fresh engine and on one whose free list is pre-warmed, and requires
+// identical execution: pooling is invisible to the model.
+func TestFreeListDeterminism(t *testing.T) {
+	replay := func(e *Engine) []int {
+		var order []int
+		rng := NewRNG(7)
+		var ids []EventID
+		for i := 0; i < 300; i++ {
+			i := i
+			// Offsets are relative to Now: the warm engine's clock has
+			// already advanced past its warm-up events.
+			at := e.Now().Add(Duration(1 + rng.Intn(50)))
+			ids = append(ids, e.At(at, func() { order = append(order, i) }))
+		}
+		for i := 0; i < 300; i += 3 {
+			e.Cancel(ids[i])
+		}
+		e.Run()
+		return order
+	}
+
+	fresh := NewEngine()
+	warm := NewEngine()
+	// Pre-warm: run disposable events through so the free list is hot.
+	for i := 0; i < 64; i++ {
+		warm.At(Time(i+1), func() {})
+	}
+	warm.Run()
+	if len(warm.free) == 0 {
+		t.Fatal("warm-up left no records on the free list")
+	}
+
+	a, b := replay(fresh), replay(warm)
+	if len(a) != len(b) {
+		t.Fatalf("executed %d vs %d events", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("execution order diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -162,6 +162,46 @@ func WithTelemetry(tel *Telemetry) Option {
 	}
 }
 
+// SelfProfile is the aggregated simulator self-profile: events
+// executed, event-heap high-water, cancel sweeps, memo-cache traffic
+// and worker-pool fan-out across every simulation of the testbeds a
+// Profiler is attached to.
+type SelfProfile = core.SelfProfile
+
+// MetricValue is one exported metric from a registry snapshot.
+type MetricValue = obs.MetricValue
+
+// Profiler collects simulator self-profiling from every testbed it is
+// attached to — the "how hard did the simulator work" counterpart of
+// Telemetry's "what did the model do". All counters are virtual-state
+// only, so a sequential profile is byte-identical across runs; under
+// -j>1 the memo cache's duplicate-work trade makes aggregates
+// scheduling-dependent. A nil or absent Profiler costs nothing.
+type Profiler struct {
+	p *core.Profiler
+}
+
+// NewProfiler returns an empty self-profiler.
+func NewProfiler() *Profiler { return &Profiler{p: core.NewProfiler()} }
+
+// Snapshot returns the headline aggregate.
+func (p *Profiler) Snapshot() SelfProfile { return p.p.Snapshot() }
+
+// WriteProfile writes the full metric snapshot as name-sorted JSON —
+// the profile.json payload of `snicbench -profile`.
+func (p *Profiler) WriteProfile(w io.Writer) error { return p.p.WriteProfile(w) }
+
+// WithSelfProfile attaches a self-profiler to the testbed: every
+// simulation's engine counters, every memo-cache lookup and every
+// worker-pool fan-out is folded into prof.
+func WithSelfProfile(prof *Profiler) Option {
+	return func(t *Testbed) {
+		if prof != nil {
+			t.runner.SetProfiler(prof.p)
+		}
+	}
+}
+
 // WithInvariantChecks enables checked execution: every simulation
 // validates the engine's physical laws online — request and byte
 // conservation, causality, clock monotonicity, queue sanity — and
