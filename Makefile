@@ -34,11 +34,11 @@ bench:
 	$(GO) test -bench=. -benchmem .
 
 # Record sequential vs parallel wall-clock (and verify the two produce
-# identical results) for Fig. 4, the S22 fleet simulation and the
-# pipeline saturation walks, plus the simulator's events/sec and the
-# enabled-telemetry overhead (budget: 15%).
+# identical results) for Fig. 4, the S22 fleet simulation, the pipeline
+# saturation walks and the flow-offload policy comparison, plus the
+# simulator's events/sec and the enabled-telemetry overhead (budget: 15%).
 bench-compare:
-	$(GO) run ./cmd/benchcompare -out BENCH_parallel.json -fleet-out BENCH_fleet.json -pipeline-out BENCH_pipeline.json -events-out BENCH_events.json
+	$(GO) run ./cmd/benchcompare -out BENCH_parallel.json -fleet-out BENCH_fleet.json -pipeline-out BENCH_pipeline.json -offload-out BENCH_offload.json -events-out BENCH_events.json
 
 # Self-profile determinism: profile.json holds only virtual-state
 # counters, so two sequential runs of the same experiment must emit
@@ -63,7 +63,7 @@ faults:
 # queue sanity). Any broken law panics with a typed violation, so a
 # clean exit is the assertion.
 check: bin/snicbench
-	for e in fig4 fig5 table4 faults fleet pipeline; do \
+	for e in fig4 fig5 table4 faults fleet pipeline offload; do \
 		echo "checked: $$e"; \
 		./bin/snicbench -exp $$e -check -q > /dev/null || exit 1; \
 	done
@@ -83,6 +83,8 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzDispatch$$' -fuzztime $(FUZZTIME) ./internal/fleet
 	$(GO) test -run '^$$' -fuzz '^FuzzCheckedRun$$' -fuzztime $(FUZZTIME) ./internal/core
 	$(GO) test -run '^$$' -fuzz '^FuzzPipelineRun$$' -fuzztime $(FUZZTIME) ./internal/core
+	$(GO) test -run '^$$' -fuzz '^FuzzFlowTable$$' -fuzztime $(FUZZTIME) ./internal/flow
+	$(GO) test -run '^$$' -fuzz '^FuzzOffloadRun$$' -fuzztime $(FUZZTIME) ./internal/core
 
 # Telemetry exports must be byte-identical at every parallelism: run the
 # same experiment sequentially and fully parallel and diff the traces.
@@ -105,4 +107,8 @@ trace-determinism:
 	$(GO) run ./cmd/snicbench -exp pipeline -q -j $$(nproc) > pipeline_jN.txt
 	cmp pipeline_j1.txt pipeline_jN.txt
 	rm -f pipeline_j1.txt pipeline_jN.txt
+	$(GO) run ./cmd/snicbench -exp offload -q -j 1 > offload_j1.txt
+	$(GO) run ./cmd/snicbench -exp offload -q -j $$(nproc) > offload_jN.txt
+	cmp offload_j1.txt offload_jN.txt
+	rm -f offload_j1.txt offload_jN.txt
 	@echo "trace determinism: OK"

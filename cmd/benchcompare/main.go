@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	benchcompare [-j N] [-out BENCH_parallel.json] [-fleet-out BENCH_fleet.json] [-pipeline-out BENCH_pipeline.json] [-events-out BENCH_events.json]
+//	benchcompare [-j N] [-out BENCH_parallel.json] [-fleet-out BENCH_fleet.json] [-pipeline-out BENCH_pipeline.json] [-offload-out BENCH_offload.json] [-events-out BENCH_events.json]
 package main
 
 import (
@@ -59,6 +59,11 @@ type comparison struct {
 	// the standing evidence that drop and spill measure *different*
 	// knees now that every engine exports a queue counter.
 	Knees []knee `json:"knees,omitempty"`
+	// Policies records each offload policy's outcome (offload leg only)
+	// — the standing evidence that the adaptive threshold controller
+	// beats both static policies on SLO attainment and drop rate under
+	// flow churn.
+	Policies []offloadStat `json:"policies,omitempty"`
 }
 
 // knee is one (pipeline, policy) walk's located saturation knee.
@@ -66,6 +71,20 @@ type knee struct {
 	Pipeline string  `json:"pipeline"`
 	Policy   string  `json:"policy"`
 	KneeGbps float64 `json:"knee_gbps"`
+}
+
+// offloadStat is one offload policy's headline numbers on the churn
+// scenario.
+type offloadStat struct {
+	Policy        string  `json:"policy"`
+	SLOAttainment float64 `json:"slo_attainment"`
+	DropRate      float64 `json:"drop_rate"`
+	FastPathShare float64 `json:"fast_path_share"`
+	InsertRejects uint64  `json:"insert_rejects"`
+	Thrash        uint64  `json:"thrash"`
+	ThresholdMin  int     `json:"threshold_min"`
+	ThresholdMax  int     `json:"threshold_max"`
+	ThresholdEnd  int     `json:"threshold_final"`
 }
 
 // writeComparison validates and records one seq-vs-parallel comparison.
@@ -93,6 +112,7 @@ func main() {
 	out := flag.String("out", "BENCH_parallel.json", "output path")
 	fleetOut := flag.String("fleet-out", "BENCH_fleet.json", "fleet comparison output path")
 	pipelineOut := flag.String("pipeline-out", "BENCH_pipeline.json", "pipeline saturation comparison output path")
+	offloadOut := flag.String("offload-out", "BENCH_offload.json", "flow-offload policy comparison output path")
 	eventsOut := flag.String("events-out", "BENCH_events.json", "events/sec self-profile output path")
 	flag.Parse()
 
@@ -219,6 +239,52 @@ func main() {
 		pc.Knees = append(pc.Knees, knee{Pipeline: w.Pipeline, Policy: w.Policy, KneeGbps: w.KneeGbps})
 	}
 	writeComparison(pc, *pipelineOut)
+
+	// The offload leg: the three threshold policies on the churn
+	// scenario. Each policy is an independent simulation, so the
+	// experiment fans out across -j; the JSON keeps the per-policy SLO
+	// attainment and drop rate as the standing record that the adaptive
+	// controller wins under churn.
+	offSpec := snic.DefaultOffloadSpec()
+	offPols := snic.DefaultOffloadPolicies()
+	runOffload := func(j int) ([]snic.OffloadResult, float64, uint64) {
+		tb := snic.NewTestbed(snic.WithParallelism(j))
+		start := time.Now()
+		rs := tb.OffloadExperiment(offSpec, offPols)
+		return rs, time.Since(start).Seconds(), tb.Simulations()
+	}
+
+	seqOff, seqOffSec, seqOffSims := runOffload(1)
+	parOff, parOffSec, parOffSims := runOffload(*jobs)
+
+	oc := comparison{
+		Experiment:     "offload/churn",
+		Benchmarks:     len(seqOff),
+		CPUs:           runtime.NumCPU(),
+		Parallelism:    *jobs,
+		SequentialSec:  seqOffSec,
+		ParallelSec:    parOffSec,
+		Identical:      reflect.DeepEqual(seqOff, parOff),
+		SimsSequential: seqOffSims,
+		SimsParallel:   parOffSims,
+	}
+	if parOffSec > 0 {
+		oc.Speedup = seqOffSec / parOffSec
+	}
+	for _, r := range seqOff {
+		oc.Policies = append(oc.Policies, offloadStat{
+			Policy:        r.Policy,
+			SLOAttainment: r.SLOAttainment,
+			DropRate:      r.DropRate,
+			FastPathShare: r.FastPathShare(),
+			InsertRejects: r.InsertRejects,
+			Thrash:        r.Thrash,
+			ThresholdMin:  r.ThresholdMin,
+			ThresholdMax:  r.ThresholdMax,
+			ThresholdEnd:  r.ThresholdFinal,
+		})
+	}
+	writeComparison(oc, *offloadOut)
 
 	// The events leg: the Fig. 4 software subset again, sequentially,
 	// with the self-profiler attached — once with telemetry off, once

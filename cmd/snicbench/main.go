@@ -14,6 +14,7 @@
 //	snicbench -exp faults            # trace replay under injected faults
 //	snicbench -exp fleet             # datacenter fleet + provisioning search
 //	snicbench -exp pipeline          # chained tax pipelines + saturation search
+//	snicbench -exp offload           # flow-offload policies under churn
 //	snicbench -exp specs             # Tables 1 & 2 hardware specs
 //	snicbench -exp catalog           # Table 3 benchmark matrix
 //	snicbench -exp functional        # verify the real implementations
@@ -62,7 +63,7 @@ var validExps = []string{
 	"specs", "catalog", "functional",
 	"fig4", "fig5", "fig6", "fig7",
 	"table4", "table5",
-	"strategies", "faults", "fleet", "pipeline",
+	"strategies", "faults", "fleet", "pipeline", "offload",
 	"all",
 }
 
@@ -138,6 +139,7 @@ func main() {
 		"faults":     func() { runFaults(opts) },
 		"fleet":      func() { runFleet(opts) },
 		"pipeline":   func() { runPipeline(opts) },
+		"offload":    func() { runOffload(opts) },
 		"specs":      runSpecs,
 		"catalog":    runCatalog,
 		"functional": runFunctional,
@@ -146,7 +148,8 @@ func main() {
 	if *exp == "all" {
 		// Same order the command has always used.
 		for _, e := range []string{"specs", "catalog", "functional", "fig4", "fig6",
-			"fig5", "fig7", "table4", "table5", "strategies", "faults", "fleet", "pipeline"} {
+			"fig5", "fig7", "table4", "table5", "strategies", "faults", "fleet",
+			"pipeline", "offload"} {
 			run(e, dispatch[e])
 		}
 	} else if fn, ok := dispatch[*exp]; ok {
@@ -457,6 +460,19 @@ func runPipeline(opts []snic.Option) {
 	snic.RenderPipeline(os.Stdout, fixed)
 	fmt.Println()
 	snic.RenderSaturation(os.Stdout, walks)
+}
+
+// runOffload compares the three offload threshold policies —
+// static-per-function (offload everything), static-per-flow-threshold
+// (fixed K), adaptive (K moved online from the table's churn counters)
+// — on the same churny trace against the same bounded eSwitch flow
+// table. All simulation happens before rendering, so stdout is
+// byte-identical at any -j.
+func runOffload(opts []snic.Option) {
+	fmt.Println("== Flow offload: bounded eSwitch table + threshold policies under churn ==")
+	tbed := snic.NewTestbed(opts...)
+	rs := tbed.OffloadExperiment(snic.DefaultOffloadSpec(), snic.DefaultOffloadPolicies())
+	snic.RenderOffload(os.Stdout, rs)
 }
 
 func runFunctional() {

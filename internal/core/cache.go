@@ -31,6 +31,7 @@ type measureCache struct {
 	replays      map[string]TraceReplayResult
 	servers      map[string]ServerReplay
 	pipelines    map[string]PipelineMeasurement
+	offloads     map[string]OffloadResult
 	hits, misses uint64
 	// prof, when set, receives every lookup outcome (Runner.SetProfiler).
 	prof *Profiler
@@ -104,6 +105,23 @@ func (c *measureCache) storePipeline(key string, p PipelineMeasurement) {
 	c.pipelines[key] = p
 }
 
+func (c *measureCache) lookupOffload(key string) (OffloadResult, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.offloads[key]
+	c.note(ok)
+	return o, ok
+}
+
+func (c *measureCache) storeOffload(key string, o OffloadResult) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.offloads == nil {
+		c.offloads = make(map[string]OffloadResult)
+	}
+	c.offloads[key] = o
+}
+
 // note tallies hit/miss under the already-held lock.
 func (c *measureCache) note(hit bool) {
 	if hit {
@@ -172,6 +190,17 @@ func serverKey(cfg *Config, plat Platform, tbc TestbedConfig, rates []float64, i
 // full spec (including the policy's Key) plus testbed and options.
 func pipelineKey(ps *PipelineSpec, tbc TestbedConfig, opts RunOpts) string {
 	return fmt.Sprintf("pipeline|%s|tb:%+v|opts:%+v", ps.key(), tbc, opts)
+}
+
+// offloadKey is the memo key of one offload run: the full spec (the
+// policy by its Key, which serializes kind and parameters) plus the
+// testbed sizing.
+func offloadKey(spec *OffloadSpec, tbc TestbedConfig) string {
+	return fmt.Sprintf("offload|%s|tr:%s|mix:%+v|tbl:%+v|pol:%s|ctl:%d|slo:%d|seed:%d|pkt:%d|cyc:%g/%g/%g|sig:%g|q:%d|tb:%+v",
+		spec.Name, traceFingerprint(spec.Trace), spec.Mix, spec.Table, spec.Policy.Key(),
+		spec.ControlInterval, spec.SLO, spec.Seed, spec.PktSize,
+		spec.SlowBaseCycles, spec.SlowPerByteCycles, spec.RuleDecisionCycles,
+		spec.SlowSigma, spec.QueueCap, tbc)
 }
 
 // TraceFingerprint exposes the trace hash for callers (package fleet)

@@ -2,6 +2,9 @@ package core
 
 import (
 	"testing"
+
+	"repro/internal/flow"
+	"repro/internal/sim"
 )
 
 // FuzzCheckedRun is the config fuzzer: arbitrary (catalog entry,
@@ -87,6 +90,60 @@ func FuzzPipelineRun(f *testing.F) {
 					ph.Name, n, upstream, pm.Phases)
 			}
 			upstream = ph.Served + ph.Spilled
+		}
+	})
+}
+
+// FuzzOffloadRun is the flow-offload fuzzer: arbitrary (policy, eviction
+// discipline, table capacity, churn rate, threshold, seed) tuples run
+// the churn scenario end to end under checked execution. The flow
+// invariants validate online — every packet must leave through exactly
+// one datapath, the request ledger must balance, and table occupancy may
+// never exceed capacity — and panic on violation. Absolute SLO or drop
+// numbers are free to vary with the inputs.
+func FuzzOffloadRun(f *testing.F) {
+	f.Add(uint8(0), uint8(0), uint16(64), uint16(30), uint8(4), uint64(1))
+	f.Add(uint8(1), uint8(1), uint16(8), uint16(200), uint8(1), uint64(99))
+	f.Add(uint8(2), uint8(2), uint16(0), uint16(0), uint8(255), uint64(12345))
+
+	f.Fuzz(func(t *testing.T, pi, ev uint8, tcap, churn uint16, k uint8, seed uint64) {
+		spec := DefaultOffloadSpec()
+		// A short bursty trace keeps each case fast while still crossing
+		// calm and overloaded intervals.
+		spec.Trace = BurstyTrace(6, 26, 4, 2, sim.Millisecond)
+		spec.Seed = seed
+		spec.Mix.Concurrency = 128
+		// 0 .. ~0.25 forced flow restarts per packet.
+		spec.Mix.ChurnPerPacket = float64(churn%256) / 1024
+		// 1 .. 256 rules: tiny tables stress eviction and the serialized
+		// insert path far harder than the default 512.
+		spec.Table.Capacity = int(tcap)%256 + 1
+		spec.Table.Evict = []flow.EvictPolicy{flow.EvictLRU, flow.EvictIdle, flow.EvictPriority}[int(ev)%3]
+		switch pi % 3 {
+		case 0:
+			spec.Policy = OffloadPolicy{Kind: OffloadStaticFunction}
+		case 1:
+			spec.Policy = OffloadPolicy{Kind: OffloadStaticFlow, Threshold: int(k)%64 + 1}
+		default:
+			spec.Policy = OffloadPolicy{Kind: OffloadAdaptive, Adaptive: flow.DefaultAdaptiveConfig()}
+		}
+
+		r := NewRunner()
+		r.Checks = true
+		res := r.RunOffload(spec)
+		if res.FastPath+res.SlowPath != res.Sent {
+			t.Fatalf("datapath split leaks: fast %d + slow %d != sent %d",
+				res.FastPath, res.SlowPath, res.Sent)
+		}
+		if res.Completed+res.Dropped != res.Sent {
+			t.Fatalf("request ledger leaks: done %d + dropped %d != sent %d",
+				res.Completed, res.Dropped, res.Sent)
+		}
+		if res.SLOAttainment < 0 || res.SLOAttainment > 1 || res.DropRate < 0 || res.DropRate > 1 {
+			t.Fatalf("rate out of range: slo=%g drop=%g", res.SLOAttainment, res.DropRate)
+		}
+		if res.OccupancyPeak > spec.Table.Capacity {
+			t.Fatalf("occupancy peak %d exceeds capacity %d", res.OccupancyPeak, spec.Table.Capacity)
 		}
 	})
 }

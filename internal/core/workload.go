@@ -40,6 +40,9 @@ const (
 	// WorkloadSaturation walks a pipeline's offered load to the SLO
 	// knee under its fallback policy.
 	WorkloadSaturation WorkloadKind = "saturation"
+	// WorkloadOffload replays a flow-decomposed trace through the
+	// bounded eSwitch flow table under one offload policy.
+	WorkloadOffload WorkloadKind = "offload"
 )
 
 // Workload is the single run spec. Kind selects the family; the other
@@ -77,6 +80,9 @@ type Workload struct {
 	Pipeline *PipelineSpec
 	// Saturation shapes the saturation walk.
 	Saturation SaturationOpts
+
+	// Offload drives offload workloads.
+	Offload *OffloadSpec
 }
 
 // Result is a tagged union: exactly the field matching Kind is set.
@@ -90,6 +96,7 @@ type Result struct {
 	Balanced   *BalancedResult
 	Pipeline   *PipelineMeasurement
 	Saturation *SaturationResult
+	Offload    *OffloadResult
 }
 
 // WorkloadError is the typed validation error Execute rejects malformed
@@ -203,6 +210,13 @@ func (w *Workload) Validate() error {
 		if w.Saturation.Requests < 0 {
 			return fail("Saturation.Requests", "must not be negative")
 		}
+	case WorkloadOffload:
+		if w.Offload == nil {
+			return fail("Offload", "must be set")
+		}
+		if err := w.Offload.Validate(); err != nil {
+			return err
+		}
 	default:
 		return fail("Kind", fmt.Sprintf("unknown kind %q", w.Kind))
 	}
@@ -262,6 +276,9 @@ func (r *Runner) Execute(w Workload) (Result, error) {
 	case WorkloadSaturation:
 		s := r.SaturationSearch(w.Pipeline, w.Saturation)
 		res.Saturation = &s
+	case WorkloadOffload:
+		o := r.runOffloadMemo(w.Offload)
+		res.Offload = &o
 	}
 	return res, nil
 }

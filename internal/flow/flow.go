@@ -1,0 +1,412 @@
+// Package flow models the SmartNIC's per-flow offload control plane:
+// the bounded eSwitch flow table behind hardware fast-path forwarding,
+// and the policies that decide which flows earn a rule.
+//
+// The paper treats the eSwitch as an ideal forwarder; real deployments
+// offload *per flow* through a table with three first-order limits that
+// DPU studies report as SLO bottlenecks:
+//
+//   - bounded capacity: a few hundred to a few thousand exact-match
+//     rules, far fewer than concurrently active flows under churn;
+//   - slow rule insertion: programming a rule crosses the SNIC slow
+//     path (an OvS-style upcall plus firmware command), so rule updates
+//     serialize at tens of microseconds each and queue behind a small
+//     pending buffer;
+//   - eviction pressure: when the table is full, installing one rule
+//     evicts another — under flow churn the evicted rule is often still
+//     hot, and the thrash turns the fast path against itself.
+//
+// Table models all three in virtual time. Policy (policy.go) closes the
+// loop: an offload threshold — how many slow-path packets a flow must
+// show before it earns a rule — either fixed (static per-function,
+// static per-flow) or adapted online from the table's own counters.
+//
+// Everything is deterministic: eviction order is defined by an explicit
+// recency list (never map iteration), and insertion completions are
+// engine events, so the same op sequence always produces the same table
+// state.
+package flow
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// EvictPolicy names the victim-selection discipline used when a rule
+// must be installed into a full table.
+type EvictPolicy string
+
+// The eviction disciplines.
+const (
+	// EvictLRU evicts the least-recently-hit rule unconditionally.
+	EvictLRU EvictPolicy = "lru"
+	// EvictIdle evicts the least-recently-hit rule only if it has been
+	// idle at least IdleTimeout; otherwise the insertion aborts.
+	EvictIdle EvictPolicy = "idle"
+	// EvictPriority evicts the lowest-priority rule (ties broken toward
+	// least recently hit).
+	EvictPriority EvictPolicy = "priority"
+)
+
+// TableConfig sizes the flow table and its slow path.
+type TableConfig struct {
+	// Capacity is the rule budget (exact-match entries).
+	Capacity int
+	// InsertLatency is the per-rule programming time through the SNIC
+	// slow path; insertions serialize at this rate.
+	InsertLatency sim.Duration
+	// InsertQueueCap bounds the pending rule-update queue; requests past
+	// it are rejected (counted, not queued).
+	InsertQueueCap int
+	// Evict selects the victim discipline for installs into a full table.
+	Evict EvictPolicy
+	// IdleTimeout ages rules out: ExpireIdle removes rules idle at least
+	// this long (the OvS-offload idle_timeout), and EvictIdle uses it as
+	// the minimum victim idle age. Zero disables aging.
+	IdleTimeout sim.Duration
+	// ThrashWindow classifies an eviction as thrash when the victim was
+	// hit within this window of the eviction — the rule was still hot.
+	ThrashWindow sim.Duration
+}
+
+// DefaultTableConfig returns a BlueField-2-flavoured table: a small rule
+// budget against thousands of concurrent flows, and a slow path that
+// sustains ~20K rule updates/s.
+func DefaultTableConfig() TableConfig {
+	return TableConfig{
+		Capacity:       512,
+		InsertLatency:  50 * sim.Microsecond,
+		InsertQueueCap: 64,
+		Evict:          EvictLRU,
+		IdleTimeout:    sim.Millisecond,
+		ThrashWindow:   200 * sim.Microsecond,
+	}
+}
+
+// Validate reports the first configuration problem, or nil.
+func (c *TableConfig) Validate() error {
+	switch {
+	case c.Capacity <= 0:
+		return fmt.Errorf("flow: table capacity must be positive (got %d)", c.Capacity)
+	case c.InsertLatency <= 0:
+		return fmt.Errorf("flow: insert latency must be positive (got %v)", c.InsertLatency)
+	case c.InsertQueueCap <= 0:
+		return fmt.Errorf("flow: insert queue capacity must be positive (got %d)", c.InsertQueueCap)
+	case c.ThrashWindow < 0:
+		return fmt.Errorf("flow: thrash window must not be negative (got %v)", c.ThrashWindow)
+	}
+	switch c.Evict {
+	case EvictLRU, EvictPriority:
+	case EvictIdle:
+		if c.IdleTimeout <= 0 {
+			return fmt.Errorf("flow: idle eviction needs a positive idle timeout (got %v)", c.IdleTimeout)
+		}
+	default:
+		return fmt.Errorf("flow: unknown eviction policy %q", c.Evict)
+	}
+	return nil
+}
+
+// Counters is the table's cumulative op accounting — the signal set the
+// adaptive threshold controller feeds on.
+type Counters struct {
+	// FastHits are lookups that matched a resident rule (hardware path).
+	FastHits uint64
+	// Misses are lookups with no resident rule (slow path).
+	Misses uint64
+	// Inserts are rules actually installed.
+	Inserts uint64
+	// InsertRejects are insert requests refused at a full pending queue.
+	InsertRejects uint64
+	// InsertAborts are insertions abandoned at install time because the
+	// table was full and the eviction policy produced no victim.
+	InsertAborts uint64
+	// Evictions are rules removed to make room.
+	Evictions uint64
+	// Expired are rules aged out after IdleTimeout without a hit — dead
+	// flows reclaimed, not capacity pressure.
+	Expired uint64
+	// Thrash are evictions whose victim was hit within ThrashWindow —
+	// still-hot rules sacrificed to churn.
+	Thrash uint64
+}
+
+// rule is one resident entry; rules chain into a recency list ordered
+// least- to most-recently hit so eviction never iterates a map.
+type rule struct {
+	flow       uint64
+	prio       int
+	lastHit    sim.Time
+	hits       uint64
+	prev, next *rule
+}
+
+// pendingInsert is one queued rule-update request.
+type pendingInsert struct {
+	flow uint64
+	prio int
+}
+
+// Table is the bounded eSwitch flow table. All methods are driven
+// synchronously from one engine's event loop — no locking. It satisfies
+// nic.FlowTable, so an eSwitch can steer on it directly.
+type Table struct {
+	eng *sim.Engine
+	cfg TableConfig
+
+	rules      map[uint64]*rule
+	head, tail *rule // recency list: head = least recently hit
+
+	pending    []pendingInsert
+	pendingSet map[uint64]struct{}
+	inserting  bool
+
+	occPeak int
+	c       Counters
+}
+
+// NewTable returns an empty table; it panics on an invalid config (the
+// constructor discipline of the sim layer).
+func NewTable(eng *sim.Engine, cfg TableConfig) *Table {
+	if eng == nil {
+		panic("flow: NewTable needs an engine")
+	}
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Table{
+		eng:        eng,
+		cfg:        cfg,
+		rules:      make(map[uint64]*rule),
+		pendingSet: make(map[uint64]struct{}),
+	}
+}
+
+// Lookup consults the table for a resident rule at virtual time now,
+// refreshing the rule's recency on a hit. It is the eSwitch's per-packet
+// hardware match: hit = fast path, miss = slow path.
+func (t *Table) Lookup(flowID uint64, now sim.Time) bool {
+	r, ok := t.rules[flowID]
+	if !ok {
+		t.c.Misses++
+		return false
+	}
+	r.lastHit = now
+	r.hits++
+	t.moveToBack(r)
+	t.c.FastHits++
+	return true
+}
+
+// RequestInsert queues a rule installation for the flow through the
+// slow path. It reports whether the request was accepted: resident and
+// already-pending flows are benign no-ops (false), and a full pending
+// queue rejects the request (false, counted). The rule becomes resident
+// only after its turn in the serialized insertion pipeline completes.
+func (t *Table) RequestInsert(flowID uint64, prio int) bool {
+	if _, resident := t.rules[flowID]; resident {
+		return false
+	}
+	if _, queued := t.pendingSet[flowID]; queued {
+		return false
+	}
+	if len(t.pending) >= t.cfg.InsertQueueCap {
+		t.c.InsertRejects++
+		return false
+	}
+	t.pending = append(t.pending, pendingInsert{flow: flowID, prio: prio})
+	t.pendingSet[flowID] = struct{}{}
+	if !t.inserting {
+		t.inserting = true
+		t.eng.After(t.cfg.InsertLatency, t.completeInsert)
+	}
+	return true
+}
+
+// completeInsert finishes the oldest pending insertion: evicts a victim
+// if the table is full (aborting when the policy yields none), installs
+// the rule, and re-arms for the next pending request.
+func (t *Table) completeInsert() {
+	pi := t.pending[0]
+	t.pending = t.pending[1:]
+	delete(t.pendingSet, pi.flow)
+	now := t.eng.Now()
+	if _, dup := t.rules[pi.flow]; !dup {
+		if len(t.rules) < t.cfg.Capacity || t.evictOne(now) {
+			r := &rule{flow: pi.flow, prio: pi.prio, lastHit: now}
+			t.rules[pi.flow] = r
+			t.pushBack(r)
+			t.c.Inserts++
+			if len(t.rules) > t.occPeak {
+				t.occPeak = len(t.rules)
+			}
+		} else {
+			t.c.InsertAborts++
+		}
+	}
+	if len(t.pending) > 0 {
+		t.eng.After(t.cfg.InsertLatency, t.completeInsert)
+	} else {
+		t.inserting = false
+	}
+}
+
+// evictOne removes one victim per the configured policy and reports
+// success. Victim choice walks the recency list, never a map.
+func (t *Table) evictOne(now sim.Time) bool {
+	var victim *rule
+	switch t.cfg.Evict {
+	case EvictIdle:
+		// The list is ordered by last hit, so if the coldest rule is not
+		// idle enough, none is.
+		if t.head != nil && now.Sub(t.head.lastHit) >= t.cfg.IdleTimeout {
+			victim = t.head
+		}
+	case EvictPriority:
+		for r := t.head; r != nil; r = r.next {
+			if victim == nil || r.prio < victim.prio {
+				victim = r
+			}
+		}
+	default: // EvictLRU
+		victim = t.head
+	}
+	if victim == nil {
+		return false
+	}
+	t.remove(victim)
+	delete(t.rules, victim.flow)
+	t.c.Evictions++
+	if now.Sub(victim.lastHit) <= t.cfg.ThrashWindow {
+		t.c.Thrash++
+	}
+	return true
+}
+
+// ExpireIdle ages out every rule idle at least IdleTimeout, walking the
+// recency list from its cold end, and returns how many were removed.
+// The control loop calls it once per control interval — the periodic
+// aging sweep real offload datapaths run — so occupancy tracks the live
+// working set instead of pinning at capacity under dead rules. A zero
+// IdleTimeout disables aging.
+func (t *Table) ExpireIdle(now sim.Time) int {
+	if t.cfg.IdleTimeout <= 0 {
+		return 0
+	}
+	n := 0
+	for t.head != nil && now.Sub(t.head.lastHit) >= t.cfg.IdleTimeout {
+		victim := t.head
+		t.remove(victim)
+		delete(t.rules, victim.flow)
+		t.c.Expired++
+		n++
+	}
+	return n
+}
+
+// Occupancy returns the number of resident rules.
+func (t *Table) Occupancy() int { return len(t.rules) }
+
+// Capacity returns the rule budget.
+func (t *Table) Capacity() int { return t.cfg.Capacity }
+
+// OccupancyPeak returns the high-water mark of resident rules.
+func (t *Table) OccupancyPeak() int { return t.occPeak }
+
+// PendingInserts returns the rule-update queue depth.
+func (t *Table) PendingInserts() int { return len(t.pending) }
+
+// Contains reports whether the flow has a resident rule.
+func (t *Table) Contains(flowID uint64) bool {
+	_, ok := t.rules[flowID]
+	return ok
+}
+
+// Pending reports whether the flow has a queued (not yet installed)
+// rule-update request.
+func (t *Table) Pending(flowID uint64) bool {
+	_, ok := t.pendingSet[flowID]
+	return ok
+}
+
+// Counters returns the cumulative op accounting.
+func (t *Table) Counters() Counters { return t.c }
+
+// ---- recency list plumbing ----
+
+func (t *Table) pushBack(r *rule) {
+	r.prev, r.next = t.tail, nil
+	if t.tail != nil {
+		t.tail.next = r
+	} else {
+		t.head = r
+	}
+	t.tail = r
+}
+
+func (t *Table) remove(r *rule) {
+	if r.prev != nil {
+		r.prev.next = r.next
+	} else {
+		t.head = r.next
+	}
+	if r.next != nil {
+		r.next.prev = r.prev
+	} else {
+		t.tail = r.prev
+	}
+	r.prev, r.next = nil, nil
+}
+
+func (t *Table) moveToBack(r *rule) {
+	if t.tail == r {
+		return
+	}
+	t.remove(r)
+	t.pushBack(r)
+}
+
+// residentFlows returns the resident flow IDs in recency order (least
+// recently hit first) — the deterministic eviction order.
+func (t *Table) residentFlows() []uint64 {
+	out := make([]uint64, 0, len(t.rules))
+	for r := t.head; r != nil; r = r.next {
+		out = append(out, r.flow)
+	}
+	return out
+}
+
+// audit cross-checks the table's internal ledgers: map and recency list
+// must agree, occupancy and queues must respect their bounds, and the
+// install/evict counters must explain the resident population. The fuzz
+// harness calls it after every engine step.
+func (t *Table) audit() error {
+	n := 0
+	for r := t.head; r != nil; r = r.next {
+		if got, ok := t.rules[r.flow]; !ok || got != r {
+			return fmt.Errorf("flow: list entry %d missing from rule map", r.flow)
+		}
+		n++
+		if n > len(t.rules) {
+			return fmt.Errorf("flow: recency list longer than rule map (cycle?)")
+		}
+	}
+	if n != len(t.rules) {
+		return fmt.Errorf("flow: recency list has %d entries, map has %d", n, len(t.rules))
+	}
+	if len(t.rules) > t.cfg.Capacity {
+		return fmt.Errorf("flow: occupancy %d exceeds capacity %d", len(t.rules), t.cfg.Capacity)
+	}
+	if len(t.pending) > t.cfg.InsertQueueCap {
+		return fmt.Errorf("flow: pending queue %d exceeds capacity %d", len(t.pending), t.cfg.InsertQueueCap)
+	}
+	if len(t.pending) != len(t.pendingSet) {
+		return fmt.Errorf("flow: pending queue %d disagrees with pending set %d", len(t.pending), len(t.pendingSet))
+	}
+	if t.c.Inserts-t.c.Evictions-t.c.Expired != uint64(len(t.rules)) {
+		return fmt.Errorf("flow: inserts %d - evictions %d - expired %d != occupancy %d (lost rules)",
+			t.c.Inserts, t.c.Evictions, t.c.Expired, len(t.rules))
+	}
+	return nil
+}

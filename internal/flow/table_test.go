@@ -1,0 +1,295 @@
+package flow
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func smallConfig() TableConfig {
+	cfg := DefaultTableConfig()
+	cfg.Capacity = 3
+	cfg.InsertQueueCap = 4
+	return cfg
+}
+
+// drain runs the engine dry, auditing after every event.
+func drain(t *testing.T, eng *sim.Engine, tbl *Table) {
+	t.Helper()
+	for eng.Step() {
+		if err := tbl.audit(); err != nil {
+			t.Fatalf("audit after step at %v: %v", eng.Now(), err)
+		}
+	}
+}
+
+func TestInsertTakesSlowPathLatency(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallConfig()
+	tbl := NewTable(eng, cfg)
+
+	if !tbl.RequestInsert(7, 1) {
+		t.Fatal("first insert request should be accepted")
+	}
+	if tbl.Contains(7) {
+		t.Fatal("rule resident before the slow path finished")
+	}
+	if !tbl.Pending(7) {
+		t.Fatal("rule not pending after accepted request")
+	}
+	// Re-requesting while pending is a no-op, not a reject.
+	if tbl.RequestInsert(7, 1) {
+		t.Fatal("duplicate pending request should be refused")
+	}
+	if c := tbl.Counters(); c.InsertRejects != 0 {
+		t.Fatalf("duplicate pending request counted as reject: %+v", c)
+	}
+
+	eng.RunUntil(sim.Time(0).Add(cfg.InsertLatency - 1))
+	if tbl.Contains(7) {
+		t.Fatalf("rule resident at %v, before insert latency %v", eng.Now(), cfg.InsertLatency)
+	}
+	eng.Run()
+	if !tbl.Contains(7) || tbl.Occupancy() != 1 {
+		t.Fatalf("rule not resident after slow path: occupancy %d", tbl.Occupancy())
+	}
+	if c := tbl.Counters(); c.Inserts != 1 {
+		t.Fatalf("expected 1 install, got %+v", c)
+	}
+}
+
+func TestInsertQueueRejectsWhenFull(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallConfig()
+	cfg.InsertQueueCap = 2
+	tbl := NewTable(eng, cfg)
+
+	if !tbl.RequestInsert(1, 1) || !tbl.RequestInsert(2, 1) {
+		t.Fatal("queue-capacity requests should be accepted")
+	}
+	if tbl.RequestInsert(3, 1) {
+		t.Fatal("request past queue capacity should be rejected")
+	}
+	if c := tbl.Counters(); c.InsertRejects != 1 {
+		t.Fatalf("expected 1 reject, got %+v", c)
+	}
+	drain(t, eng, tbl)
+	if tbl.Occupancy() != 2 {
+		t.Fatalf("expected the 2 queued rules installed, occupancy %d", tbl.Occupancy())
+	}
+}
+
+func TestLRUEvictionOrderFollowsRecency(t *testing.T) {
+	eng := sim.NewEngine()
+	tbl := NewTable(eng, smallConfig()) // capacity 3
+
+	for _, id := range []uint64{1, 2, 3} {
+		tbl.RequestInsert(id, 1)
+	}
+	drain(t, eng, tbl)
+
+	// Touch 1 so 2 becomes the least recently hit.
+	if !tbl.Lookup(1, eng.Now()) {
+		t.Fatal("resident rule 1 should hit")
+	}
+	tbl.RequestInsert(4, 1)
+	drain(t, eng, tbl)
+
+	if tbl.Contains(2) {
+		t.Fatal("LRU eviction should have removed flow 2")
+	}
+	for _, id := range []uint64{1, 3, 4} {
+		if !tbl.Contains(id) {
+			t.Fatalf("flow %d should still be resident", id)
+		}
+	}
+	if c := tbl.Counters(); c.Evictions != 1 {
+		t.Fatalf("expected 1 eviction, got %+v", c)
+	}
+}
+
+func TestIdleEvictionAbortsWhenNothingIsIdle(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallConfig()
+	cfg.Evict = EvictIdle
+	cfg.IdleTimeout = sim.Millisecond
+	tbl := NewTable(eng, cfg)
+
+	for _, id := range []uint64{1, 2, 3} {
+		tbl.RequestInsert(id, 1)
+	}
+	drain(t, eng, tbl)
+
+	// All rules were hit "now" (installed this instant); nothing is idle,
+	// so a fourth insert must abort rather than evict a hot rule.
+	for _, id := range []uint64{1, 2, 3} {
+		tbl.Lookup(id, eng.Now())
+	}
+	tbl.RequestInsert(4, 1)
+	drain(t, eng, tbl)
+	if tbl.Contains(4) {
+		t.Fatal("insert into a table with no idle victim should abort")
+	}
+	if c := tbl.Counters(); c.InsertAborts != 1 || c.Evictions != 0 {
+		t.Fatalf("expected 1 abort and no evictions, got %+v", c)
+	}
+
+	// Let every rule age past the idle timeout: now the coldest is fair game.
+	eng.At(eng.Now().Add(2*sim.Millisecond), func() { tbl.RequestInsert(4, 1) })
+	drain(t, eng, tbl)
+	if !tbl.Contains(4) {
+		t.Fatal("insert should succeed once a rule has gone idle")
+	}
+	if c := tbl.Counters(); c.Evictions != 1 {
+		t.Fatalf("expected 1 idle eviction, got %+v", c)
+	}
+}
+
+func TestPriorityEvictionPicksLowestPriority(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallConfig()
+	cfg.Evict = EvictPriority
+	tbl := NewTable(eng, cfg)
+
+	tbl.RequestInsert(1, 5)
+	tbl.RequestInsert(2, 1) // lowest priority — the designated victim
+	tbl.RequestInsert(3, 9)
+	drain(t, eng, tbl)
+
+	tbl.RequestInsert(4, 7)
+	drain(t, eng, tbl)
+	if tbl.Contains(2) {
+		t.Fatal("priority eviction should have removed the lowest-priority rule")
+	}
+	if !tbl.Contains(4) {
+		t.Fatal("new rule should be resident after priority eviction")
+	}
+}
+
+func TestThrashCountsHotVictims(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallConfig()
+	cfg.ThrashWindow = 200 * sim.Microsecond
+	tbl := NewTable(eng, cfg)
+
+	for _, id := range []uint64{1, 2, 3} {
+		tbl.RequestInsert(id, 1)
+	}
+	drain(t, eng, tbl)
+
+	// Victim hit just before the eviction: thrash.
+	tbl.RequestInsert(4, 1)
+	for eng.Step() {
+	}
+	if c := tbl.Counters(); c.Thrash != 1 {
+		t.Fatalf("hot victim should count as thrash: %+v", c)
+	}
+
+	// Let the survivors go cold, then evict again: not thrash.
+	eng.At(eng.Now().Add(sim.Millisecond), func() { tbl.RequestInsert(5, 1) })
+	drain(t, eng, tbl)
+	if c := tbl.Counters(); c.Thrash != 1 || c.Evictions != 2 {
+		t.Fatalf("cold victim should not count as thrash: %+v", c)
+	}
+}
+
+func TestOccupancyNeverExceedsCapacity(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := smallConfig()
+	cfg.InsertQueueCap = 64
+	tbl := NewTable(eng, cfg)
+
+	for id := uint64(0); id < 40; id++ {
+		tbl.RequestInsert(id, int(id))
+	}
+	for eng.Step() {
+		if tbl.Occupancy() > tbl.Capacity() {
+			t.Fatalf("occupancy %d exceeded capacity %d", tbl.Occupancy(), tbl.Capacity())
+		}
+		if err := tbl.audit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tbl.OccupancyPeak() != cfg.Capacity {
+		t.Fatalf("expected peak occupancy %d, got %d", cfg.Capacity, tbl.OccupancyPeak())
+	}
+}
+
+func TestTableConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*TableConfig)
+		want string
+	}{
+		{"zero capacity", func(c *TableConfig) { c.Capacity = 0 }, "capacity"},
+		{"zero latency", func(c *TableConfig) { c.InsertLatency = 0 }, "latency"},
+		{"zero queue", func(c *TableConfig) { c.InsertQueueCap = 0 }, "queue"},
+		{"negative thrash", func(c *TableConfig) { c.ThrashWindow = -1 }, "thrash"},
+		{"idle without timeout", func(c *TableConfig) { c.Evict = EvictIdle; c.IdleTimeout = 0 }, "idle"},
+		{"unknown policy", func(c *TableConfig) { c.Evict = "mru" }, "unknown"},
+	}
+	for _, tc := range cases {
+		cfg := DefaultTableConfig()
+		tc.mut(&cfg)
+		err := cfg.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: want error containing %q, got %v", tc.name, tc.want, err)
+		}
+	}
+	cfg := DefaultTableConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("default config should validate: %v", err)
+	}
+}
+
+func TestNewTablePanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTable with zero capacity should panic")
+		}
+	}()
+	cfg := DefaultTableConfig()
+	cfg.Capacity = 0
+	NewTable(sim.NewEngine(), cfg)
+}
+
+func TestExpireIdleAgesOutColdRules(t *testing.T) {
+	eng := sim.NewEngine()
+	cfg := DefaultTableConfig() // IdleTimeout 1ms
+	tbl := NewTable(eng, cfg)
+	tbl.RequestInsert(1, 1)
+	tbl.RequestInsert(2, 1)
+	drain(t, eng, tbl)
+
+	// Keep flow 2 hot past the timeout horizon; flow 1 goes cold.
+	eng.At(eng.Now().Add(900*sim.Microsecond), func() {
+		if !tbl.Lookup(2, eng.Now()) {
+			t.Error("flow 2 should be resident")
+		}
+	})
+	drain(t, eng, tbl)
+
+	now := eng.Now().Add(300 * sim.Microsecond) // flow 1 idle >1ms, flow 2 not
+	if n := tbl.ExpireIdle(now); n != 1 {
+		t.Fatalf("want 1 expiry, got %d", n)
+	}
+	if tbl.Contains(1) || !tbl.Contains(2) {
+		t.Fatal("expiry removed the wrong rule")
+	}
+	c := tbl.Counters()
+	if c.Expired != 1 || c.Evictions != 0 {
+		t.Fatalf("expiries must not count as evictions: %+v", c)
+	}
+	if err := tbl.audit(); err != nil {
+		t.Fatalf("audit after expiry: %v", err)
+	}
+
+	// Zero timeout disables aging entirely.
+	cfg2 := DefaultTableConfig()
+	cfg2.IdleTimeout = 0
+	tbl2 := NewTable(sim.NewEngine(), cfg2)
+	if n := tbl2.ExpireIdle(sim.Time(0).Add(sim.Second)); n != 0 {
+		t.Fatalf("zero IdleTimeout should disable aging, expired %d", n)
+	}
+}

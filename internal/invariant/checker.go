@@ -55,6 +55,10 @@ type Checker struct {
 	phases     map[string]*phaseLedger
 	phaseOrder []string
 	inPhase    map[uint64]string
+
+	// Flow-offload datapath ledger (offload runs); nil until the first
+	// fast/slow classification (see flows.go).
+	flows *flowLedger
 }
 
 // New returns a fail-fast checker for the named run: the first violation
@@ -313,6 +317,7 @@ func (c *Checker) Finish(now sim.Time) error {
 				c.bytesIn, c.bytesDone, c.bytesDrop)})
 	}
 	c.finishPhases(now)
+	c.finishFlows(now)
 	return c.Err()
 }
 

@@ -1,0 +1,123 @@
+package invariant
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFlowLedgerCleanRun(t *testing.T) {
+	c := New("flow-clean")
+	now := sim.Time(0)
+	// Three packets: one fast, one slow completed, one slow dropped.
+	c.Inject(1, 100, now)
+	c.Inject(2, 100, now)
+	c.Inject(3, 100, now)
+	c.FlowFast(1, now)
+	c.Complete(1, 100, now)
+	c.FlowSlow(2, now)
+	c.Complete(2, 100, now.Add(sim.Microsecond))
+	c.FlowSlow(3, now.Add(sim.Microsecond))
+	c.FlowSlowDrop(3, now.Add(sim.Microsecond))
+	c.Drop(3, 100, now.Add(sim.Microsecond))
+	if err := c.Finish(now.Add(sim.Millisecond)); err != nil {
+		t.Fatalf("clean flow run should finish without violation: %v", err)
+	}
+	if c.FlowFastCount() != 1 || c.FlowSlowCount() != 2 {
+		t.Fatalf("fast/slow counts: %d/%d", c.FlowFastCount(), c.FlowSlowCount())
+	}
+}
+
+func TestFlowDoubleClassificationViolates(t *testing.T) {
+	c := New("flow-double").Soft()
+	now := sim.Time(0)
+	c.Inject(1, 100, now)
+	c.FlowFast(1, now)
+	c.FlowSlow(1, now)
+	var v *Violation
+	if !errors.As(c.Err(), &v) || v.Rule != RuleFlow {
+		t.Fatalf("double classification should violate %s, got %v", RuleFlow, c.Err())
+	}
+}
+
+func TestFlowDropWithoutSlowPathViolates(t *testing.T) {
+	c := New("flow-baddrop").Soft()
+	now := sim.Time(0)
+	c.Inject(1, 100, now)
+	c.FlowFast(1, now)
+	c.FlowSlowDrop(1, now)
+	var v *Violation
+	if !errors.As(c.Err(), &v) || v.Rule != RuleFlow {
+		t.Fatalf("fast-path drop should violate %s, got %v", RuleFlow, c.Err())
+	}
+}
+
+func TestFlowUnclassifiedPacketViolatesAtFinish(t *testing.T) {
+	c := New("flow-missing").Soft()
+	now := sim.Time(0)
+	c.Inject(1, 100, now)
+	c.Inject(2, 100, now)
+	c.FlowFast(1, now)
+	c.Complete(1, 100, now)
+	c.Complete(2, 100, now)
+	err := c.Finish(now.Add(sim.Microsecond))
+	var v *Violation
+	if !errors.As(err, &v) || v.Rule != RuleFlow {
+		t.Fatalf("unclassified packet should violate %s at finish, got %v", RuleFlow, err)
+	}
+	if !strings.Contains(v.Detail, "injected") {
+		t.Fatalf("violation should state the broken equation: %s", v.Detail)
+	}
+}
+
+func TestFlowTableOccupancyBounds(t *testing.T) {
+	now := sim.Time(0)
+	cases := []struct {
+		name                               string
+		occupancy, capacity, pending, qcap int
+		bad                                bool
+	}{
+		{"in bounds", 10, 16, 2, 4, false},
+		{"at capacity", 16, 16, 4, 4, false},
+		{"negative occupancy", -1, 16, 0, 4, true},
+		{"over capacity", 17, 16, 0, 4, true},
+		{"negative pending", 0, 16, -1, 4, true},
+		{"pending over queue", 0, 16, 5, 4, true},
+	}
+	for _, tc := range cases {
+		c := New("flow-occ").Soft()
+		c.FlowTableOccupancy(tc.occupancy, tc.capacity, tc.pending, tc.qcap, now)
+		if got := c.Err() != nil; got != tc.bad {
+			t.Errorf("%s: violation=%v, want %v (err: %v)", tc.name, got, tc.bad, c.Err())
+		}
+	}
+}
+
+func TestFlowLedgerNilSafe(t *testing.T) {
+	var c *Checker
+	now := sim.Time(0)
+	c.FlowFast(1, now)
+	c.FlowSlow(2, now)
+	c.FlowSlowDrop(2, now)
+	c.FlowTableOccupancy(1, 2, 0, 1, now)
+	if c.FlowFastCount() != 0 || c.FlowSlowCount() != 0 {
+		t.Fatal("nil checker should report zero counts")
+	}
+}
+
+// Non-offload runs never touch the flow ledger, so Finish must not
+// demand flow classification from them.
+func TestFlowLedgerLazyAllocation(t *testing.T) {
+	c := New("no-flows")
+	now := sim.Time(0)
+	c.Inject(1, 10, now)
+	c.Complete(1, 10, now)
+	if err := c.Finish(now); err != nil {
+		t.Fatalf("run without flow classification should finish clean: %v", err)
+	}
+	if c.flows != nil {
+		t.Fatal("flow ledger should stay unallocated for non-offload runs")
+	}
+}

@@ -60,6 +60,10 @@ const (
 	RulePhase Rule = "phase-conservation"
 	// RuleBijection: a translation table lost its two-way consistency.
 	RuleBijection Rule = "table-bijection"
+	// RuleFlow: the offload datapath broke its classification ledger
+	// (a packet on two paths, fast + slow != injected) or the bounded
+	// flow table exceeded its capacity or insert-queue budget.
+	RuleFlow Rule = "flow-conservation"
 )
 
 // Violation is the typed error every check fails with. Fields are the

@@ -1,0 +1,32 @@
+// Flow-table steering: the eSwitch consulting the offload control
+// plane's bounded rule table on every ingress packet.
+package nic
+
+import "repro/internal/sim"
+
+// FlowTable is the eSwitch-side view of the offload control plane's
+// flow table (implemented by internal/flow.Table): a per-packet
+// resident-rule match that refreshes rule recency on hit. The lookup
+// itself is hardware TCAM/hash matching and adds no latency beyond the
+// eSwitch's SwitchDelay.
+type FlowTable interface {
+	Lookup(flowID uint64, now sim.Time) bool
+}
+
+// FlowSteer builds the per-flow offload rule set over a bounded flow
+// table: packets whose flow has a resident rule take the hardware fast
+// path (fast), everything else goes to the software slow path (slow).
+func FlowSteer(eng *sim.Engine, tbl FlowTable, fast, slow Destination) SteerFunc {
+	if eng == nil {
+		panic("nic: FlowSteer needs an engine")
+	}
+	if tbl == nil {
+		panic("nic: FlowSteer needs a flow table")
+	}
+	return func(p *Packet) Destination {
+		if tbl.Lookup(p.Flow, eng.Now()) {
+			return fast
+		}
+		return slow
+	}
+}

@@ -53,6 +53,10 @@ const (
 	ToAccelerator
 	// Drop discards the packet in hardware.
 	Drop
+	// ToWire forwards straight back out the port in hardware — the
+	// per-flow offload fast path: a resident eSwitch rule rewrites and
+	// reflects the packet with no CPU anywhere touching it.
+	ToWire
 )
 
 func (d Destination) String() string {
@@ -65,6 +69,8 @@ func (d Destination) String() string {
 		return "snic-accel"
 	case Drop:
 		return "drop"
+	case ToWire:
+		return "wire-fast"
 	default:
 		return fmt.Sprintf("dest(%d)", int(d))
 	}

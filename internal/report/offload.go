@@ -1,0 +1,55 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+)
+
+// Offload renders the flow-offload policy comparison: one row per
+// offload policy on the same churny trace, then a flow-plane breakdown
+// showing where each policy's rule budget went. The interesting columns
+// are SLO attainment and drop rate (the headline comparison), the
+// fast-path share (how much traffic the eSwitch actually absorbed), and
+// the reject/thrash counts (how hard the policy fought the bounded
+// table to get there).
+func Offload(w io.Writer, rs []core.OffloadResult) {
+	t := NewTable("Flow offload — policies under churn",
+		"trace", "policy", "SLO attain", "drop rate", "fast path",
+		"p99", "tput Gb/s", "power W")
+	for _, r := range rs {
+		t.Add(
+			r.Name, r.Policy,
+			fmt.Sprintf("%.1f%%", r.SLOAttainment*100),
+			fmt.Sprintf("%.1f%%", r.DropRate*100),
+			fmt.Sprintf("%.1f%%", r.FastPathShare()*100),
+			r.P99.String(),
+			fmt.Sprintf("%.2f", r.AvgTputGbps),
+			fmt.Sprintf("%.1f", r.AvgPowerW),
+		)
+	}
+	t.Render(w)
+	ft := NewTable("  flow-plane accounting",
+		"policy", "flows", "churned", "inserts", "evictions",
+		"rejects", "aborts", "thrash", "occ peak", "K range")
+	for _, r := range rs {
+		kRange := fmt.Sprintf("%d", r.ThresholdFinal)
+		if r.ThresholdMin != r.ThresholdMax {
+			kRange = fmt.Sprintf("%d..%d → %d", r.ThresholdMin, r.ThresholdMax, r.ThresholdFinal)
+		}
+		ft.Add(
+			r.Policy,
+			fmt.Sprintf("%d", r.FlowsStarted),
+			fmt.Sprintf("%d", r.FlowsChurned),
+			fmt.Sprintf("%d", r.Inserts),
+			fmt.Sprintf("%d", r.Evictions),
+			fmt.Sprintf("%d", r.InsertRejects),
+			fmt.Sprintf("%d", r.InsertAborts),
+			fmt.Sprintf("%d", r.Thrash),
+			fmt.Sprintf("%d", r.OccupancyPeak),
+			kRange,
+		)
+	}
+	ft.Render(w)
+}
