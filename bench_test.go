@@ -45,6 +45,7 @@ func fig4Subset(b *testing.B, cat core.Category, maxEntries int) {
 		}
 	}
 	var rows []core.Fig4Row
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rows = snic.NewTestbed().Fig4For(subset)
@@ -313,6 +314,7 @@ func BenchmarkFig4TelemetryOverhead(b *testing.B) {
 		}
 		b.Run(name, func(b *testing.B) {
 			prof := snic.NewProfiler()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				opts := []snic.Option{snic.WithSelfProfile(prof)}

@@ -16,9 +16,13 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"testing"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/flow"
+	"repro/internal/obs"
+	"repro/internal/sim"
 	"repro/snic"
 )
 
@@ -40,7 +44,15 @@ type eventsComparison struct {
 	DisabledEventsPerSec float64 `json:"telemetry_disabled_events_per_sec"`
 	EnabledEventsPerSec  float64 `json:"telemetry_enabled_events_per_sec"`
 	TelemetryOverheadPct float64 `json:"telemetry_overhead_pct"`
-	Identical            bool    `json:"identical_results"`
+	// AllocsPerEvent is heap allocations per simulated event over the
+	// telemetry-enabled leg (mallocs delta / events) — setup, export and
+	// amortized growth included, so small and stable but not zero.
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	// HotPathAllocsPerOp is testing.AllocsPerRun over a warmed
+	// telemetry-enabled closed loop — the steady-state scheduling path
+	// alone. The //snicvet:hotpath contract pins it at exactly zero.
+	HotPathAllocsPerOp float64 `json:"hot_path_allocs_per_op"`
+	Identical          bool    `json:"identical_results"`
 }
 
 // comparison is the JSON record benchcompare writes.
@@ -315,7 +327,24 @@ func main() {
 	}
 
 	offRows, offSec, offProf := runEvents(false)
+	var msBefore, msAfter runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	onRows, onSec, onProf := runEvents(true)
+	runtime.ReadMemStats(&msAfter)
+
+	// The alloc gate compares against the committed baseline, so read it
+	// before this run overwrites the file. Baselines from before the
+	// alloc columns existed skip the gate (nothing to compare).
+	var baseline eventsComparison
+	gateOn := false
+	if old, err := os.ReadFile(*eventsOut); err == nil {
+		var raw map[string]json.RawMessage
+		if json.Unmarshal(old, &raw) == nil {
+			if _, ok := raw["hot_path_allocs_per_op"]; ok && json.Unmarshal(old, &baseline) == nil {
+				gateOn = true
+			}
+		}
+	}
 
 	ec := eventsComparison{
 		Experiment:  "fig4/software-events",
@@ -339,6 +368,12 @@ func main() {
 	if onSec > 0 {
 		ec.EnabledEventsPerSec = float64(onProf.Events) / onSec
 	}
+	// runEvents does two reps, each a fresh testbed doing the full event
+	// count, so the malloc delta spans 2× the reported events.
+	if onProf.Events > 0 {
+		ec.AllocsPerEvent = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(2*onProf.Events)
+	}
+	ec.HotPathAllocsPerOp = hotPathAllocsPerOp()
 	if !ec.Identical {
 		fmt.Fprintln(os.Stderr, "benchcompare: fig4/software-events: TELEMETRY PERTURBS RESULTS")
 		os.Exit(1)
@@ -353,9 +388,68 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcompare:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("%s: %d events, %.0f events/s off, %.0f events/s on, telemetry overhead %.1f%%, identical=%v\n",
-		ec.Experiment, ec.Events, ec.DisabledEventsPerSec, ec.EnabledEventsPerSec, ec.TelemetryOverheadPct, ec.Identical)
+	fmt.Printf("%s: %d events, %.0f events/s off, %.0f events/s on, telemetry overhead %.1f%%, %.3f allocs/event, %.2f hot-path allocs/op, identical=%v\n",
+		ec.Experiment, ec.Events, ec.DisabledEventsPerSec, ec.EnabledEventsPerSec,
+		ec.TelemetryOverheadPct, ec.AllocsPerEvent, ec.HotPathAllocsPerOp, ec.Identical)
 	if ec.TelemetryOverheadPct > 15 {
 		fmt.Fprintf(os.Stderr, "benchcompare: warning: telemetry overhead %.1f%% exceeds the 15%% budget\n", ec.TelemetryOverheadPct)
 	}
+	if gateOn {
+		if ec.HotPathAllocsPerOp > baseline.HotPathAllocsPerOp {
+			fmt.Fprintf(os.Stderr, "benchcompare: HOT PATH ALLOCATION REGRESSION: %.2f allocs/op, baseline %.2f\n",
+				ec.HotPathAllocsPerOp, baseline.HotPathAllocsPerOp)
+			os.Exit(1)
+		}
+		if baseline.AllocsPerEvent > 0 && ec.AllocsPerEvent > baseline.AllocsPerEvent*1.10 {
+			fmt.Fprintf(os.Stderr, "benchcompare: PER-EVENT ALLOCATION REGRESSION: %.3f allocs/event, baseline %.3f (+10%% budget)\n",
+				ec.AllocsPerEvent, baseline.AllocsPerEvent)
+			os.Exit(1)
+		}
+	}
+}
+
+// hotPathAllocsPerOp measures steady-state allocations of the
+// telemetry-enabled scheduling path: a warmed closed loop of jobs
+// circulating through a station, a link and a churning flow table with a
+// Recorder observing everything — the same loop internal/sim pins at
+// zero in TestHotPathZeroAllocs.
+func hotPathAllocsPerOp() float64 {
+	eng := sim.NewEngine()
+	st := sim.NewStation(eng, 2)
+	link := sim.NewLink(eng, 100e9, sim.Microsecond)
+	table := flow.NewTable(eng, flow.TableConfig{
+		Capacity:       8,
+		InsertLatency:  2 * sim.Microsecond,
+		InsertQueueCap: 4,
+		Evict:          flow.EvictLRU,
+		ThrashWindow:   sim.Microsecond,
+	})
+	rec := obs.NewRecorder(1, "hotpath-gate")
+	st.Observe("pool", rec)
+	link.Observe("wire", rec)
+	var next uint64
+	for i := 0; i < 8; i++ {
+		j := &sim.Job{Service: 3 * sim.Microsecond}
+		j.Done = func(start, end sim.Time) {
+			next++
+			if !table.Lookup(1000, end) {
+				table.RequestInsert(1000, 1)
+			}
+			if id := next % 24; !table.Lookup(id, end) {
+				table.RequestInsert(id, 0)
+			}
+			link.Send(64, nil)
+			rec.Count("loop.completions", 1)
+			st.Submit(j)
+		}
+		st.Submit(j)
+	}
+	for i := 0; i < 20000; i++ {
+		eng.Step()
+	}
+	return testing.AllocsPerRun(50, func() {
+		for i := 0; i < 200; i++ {
+			eng.Step()
+		}
+	})
 }

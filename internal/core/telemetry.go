@@ -112,6 +112,8 @@ func (r *Runner) finishRecorder(ctx *runctx) {
 
 // openRequest opens a request root span at the current virtual time.
 // Returns 0 (untraced) when telemetry is off.
+//
+//snicvet:hotpath
 func (ctx *runctx) openRequest() obs.SpanID {
 	if ctx.rec == nil {
 		return 0
@@ -121,6 +123,8 @@ func (ctx *runctx) openRequest() obs.SpanID {
 
 // stage records one stage child span of a request. root==0 (telemetry
 // off, or an untraced packet) makes this a no-op.
+//
+//snicvet:hotpath
 func (ctx *runctx) stage(root obs.SpanID, name string, start, end sim.Time) {
 	if root == 0 {
 		return
@@ -129,6 +133,8 @@ func (ctx *runctx) stage(root obs.SpanID, name string, start, end sim.Time) {
 }
 
 // closeRequest ends a request root span at the current virtual time.
+//
+//snicvet:hotpath
 func (ctx *runctx) closeRequest(root obs.SpanID) {
 	if root == 0 {
 		return

@@ -157,10 +157,18 @@ type Table struct {
 
 	rules      map[uint64]*rule
 	head, tail *rule // recency list: head = least recently hit
+	// freeRules recycles evicted/expired rule records so steady-state
+	// churn (the regime the offload experiments live in) installs rules
+	// without allocating.
+	freeRules []*rule
 
-	pending    []pendingInsert
-	pendingSet map[uint64]struct{}
-	inserting  bool
+	// pending is a ring-flavoured FIFO like Station.queue: pendingHead
+	// indexes the oldest request and completions advance it instead of
+	// re-slicing, so the backing array is reused under sustained churn.
+	pending     []pendingInsert
+	pendingHead int
+	pendingSet  map[uint64]struct{}
+	inserting   bool
 
 	occPeak int
 	c       Counters
@@ -186,6 +194,8 @@ func NewTable(eng *sim.Engine, cfg TableConfig) *Table {
 // Lookup consults the table for a resident rule at virtual time now,
 // refreshing the rule's recency on a hit. It is the eSwitch's per-packet
 // hardware match: hit = fast path, miss = slow path.
+//
+//snicvet:hotpath
 func (t *Table) Lookup(flowID uint64, now sim.Time) bool {
 	r, ok := t.rules[flowID]
 	if !ok {
@@ -204,6 +214,8 @@ func (t *Table) Lookup(flowID uint64, now sim.Time) bool {
 // already-pending flows are benign no-ops (false), and a full pending
 // queue rejects the request (false, counted). The rule becomes resident
 // only after its turn in the serialized insertion pipeline completes.
+//
+//snicvet:hotpath
 func (t *Table) RequestInsert(flowID uint64, prio int) bool {
 	if _, resident := t.rules[flowID]; resident {
 		return false
@@ -211,30 +223,52 @@ func (t *Table) RequestInsert(flowID uint64, prio int) bool {
 	if _, queued := t.pendingSet[flowID]; queued {
 		return false
 	}
-	if len(t.pending) >= t.cfg.InsertQueueCap {
+	if t.PendingInserts() >= t.cfg.InsertQueueCap {
 		t.c.InsertRejects++
 		return false
 	}
+	if t.pendingHead > 0 && len(t.pending) == cap(t.pending) {
+		// Compact the live region to the front so append reuses the
+		// backing array instead of growing it.
+		n := copy(t.pending, t.pending[t.pendingHead:])
+		t.pending = t.pending[:n]
+		t.pendingHead = 0
+	}
+	//snicvet:ignore hotpath -- amortized ring growth; sustained churn reuses the pending array
 	t.pending = append(t.pending, pendingInsert{flow: flowID, prio: prio})
 	t.pendingSet[flowID] = struct{}{}
 	if !t.inserting {
 		t.inserting = true
-		t.eng.After(t.cfg.InsertLatency, t.completeInsert)
+		t.eng.AfterCall(t.cfg.InsertLatency, t, nil)
 	}
 	return true
 }
 
+// HandleEvent fires when the slow path finishes programming the oldest
+// pending rule; the table schedules itself as the engine handler so a
+// completion costs no closure. Never call it directly.
+//
+//snicvet:hotpath
+func (t *Table) HandleEvent(any) { t.completeInsert() }
+
 // completeInsert finishes the oldest pending insertion: evicts a victim
 // if the table is full (aborting when the policy yields none), installs
 // the rule, and re-arms for the next pending request.
+//
+//snicvet:hotpath
 func (t *Table) completeInsert() {
-	pi := t.pending[0]
-	t.pending = t.pending[1:]
+	pi := t.pending[t.pendingHead]
+	t.pendingHead++
+	if t.pendingHead == len(t.pending) {
+		// Drained: rewind to the front of the backing array.
+		t.pending = t.pending[:0]
+		t.pendingHead = 0
+	}
 	delete(t.pendingSet, pi.flow)
 	now := t.eng.Now()
 	if _, dup := t.rules[pi.flow]; !dup {
 		if len(t.rules) < t.cfg.Capacity || t.evictOne(now) {
-			r := &rule{flow: pi.flow, prio: pi.prio, lastHit: now}
+			r := t.newRule(pi.flow, pi.prio, now)
 			t.rules[pi.flow] = r
 			t.pushBack(r)
 			t.c.Inserts++
@@ -245,15 +279,41 @@ func (t *Table) completeInsert() {
 			t.c.InsertAborts++
 		}
 	}
-	if len(t.pending) > 0 {
-		t.eng.After(t.cfg.InsertLatency, t.completeInsert)
+	if t.PendingInserts() > 0 {
+		t.eng.AfterCall(t.cfg.InsertLatency, t, nil)
 	} else {
 		t.inserting = false
 	}
 }
 
+// newRule takes a record off the free list, or allocates when the pool
+// is dry (cold start, or occupancy growing past its previous churn).
+//
+//snicvet:hotpath
+func (t *Table) newRule(flow uint64, prio int, now sim.Time) *rule {
+	if n := len(t.freeRules); n > 0 {
+		r := t.freeRules[n-1]
+		t.freeRules[n-1] = nil
+		t.freeRules = t.freeRules[:n-1]
+		r.flow, r.prio, r.lastHit, r.hits = flow, prio, now, 0
+		return r
+	}
+	//snicvet:ignore hotpath -- cold start only; steady-state churn reuses evicted records
+	return &rule{flow: flow, prio: prio, lastHit: now}
+}
+
+// recycleRule returns an unlinked rule record to the free list.
+//
+//snicvet:hotpath
+func (t *Table) recycleRule(r *rule) {
+	//snicvet:ignore hotpath -- free-list growth tops out at table capacity
+	t.freeRules = append(t.freeRules, r)
+}
+
 // evictOne removes one victim per the configured policy and reports
 // success. Victim choice walks the recency list, never a map.
+//
+//snicvet:hotpath
 func (t *Table) evictOne(now sim.Time) bool {
 	var victim *rule
 	switch t.cfg.Evict {
@@ -281,6 +341,7 @@ func (t *Table) evictOne(now sim.Time) bool {
 	if now.Sub(victim.lastHit) <= t.cfg.ThrashWindow {
 		t.c.Thrash++
 	}
+	t.recycleRule(victim)
 	return true
 }
 
@@ -300,6 +361,7 @@ func (t *Table) ExpireIdle(now sim.Time) int {
 		t.remove(victim)
 		delete(t.rules, victim.flow)
 		t.c.Expired++
+		t.recycleRule(victim)
 		n++
 	}
 	return n
@@ -315,7 +377,9 @@ func (t *Table) Capacity() int { return t.cfg.Capacity }
 func (t *Table) OccupancyPeak() int { return t.occPeak }
 
 // PendingInserts returns the rule-update queue depth.
-func (t *Table) PendingInserts() int { return len(t.pending) }
+//
+//snicvet:hotpath
+func (t *Table) PendingInserts() int { return len(t.pending) - t.pendingHead }
 
 // Contains reports whether the flow has a resident rule.
 func (t *Table) Contains(flowID uint64) bool {
@@ -335,6 +399,7 @@ func (t *Table) Counters() Counters { return t.c }
 
 // ---- recency list plumbing ----
 
+//snicvet:hotpath
 func (t *Table) pushBack(r *rule) {
 	r.prev, r.next = t.tail, nil
 	if t.tail != nil {
@@ -345,6 +410,7 @@ func (t *Table) pushBack(r *rule) {
 	t.tail = r
 }
 
+//snicvet:hotpath
 func (t *Table) remove(r *rule) {
 	if r.prev != nil {
 		r.prev.next = r.next
@@ -359,6 +425,7 @@ func (t *Table) remove(r *rule) {
 	r.prev, r.next = nil, nil
 }
 
+//snicvet:hotpath
 func (t *Table) moveToBack(r *rule) {
 	if t.tail == r {
 		return
@@ -398,11 +465,14 @@ func (t *Table) audit() error {
 	if len(t.rules) > t.cfg.Capacity {
 		return fmt.Errorf("flow: occupancy %d exceeds capacity %d", len(t.rules), t.cfg.Capacity)
 	}
-	if len(t.pending) > t.cfg.InsertQueueCap {
-		return fmt.Errorf("flow: pending queue %d exceeds capacity %d", len(t.pending), t.cfg.InsertQueueCap)
+	if t.PendingInserts() > t.cfg.InsertQueueCap {
+		return fmt.Errorf("flow: pending queue %d exceeds capacity %d", t.PendingInserts(), t.cfg.InsertQueueCap)
 	}
-	if len(t.pending) != len(t.pendingSet) {
-		return fmt.Errorf("flow: pending queue %d disagrees with pending set %d", len(t.pending), len(t.pendingSet))
+	if t.PendingInserts() != len(t.pendingSet) {
+		return fmt.Errorf("flow: pending queue %d disagrees with pending set %d", t.PendingInserts(), len(t.pendingSet))
+	}
+	if t.pendingHead < 0 || t.pendingHead > len(t.pending) {
+		return fmt.Errorf("flow: pending head %d outside queue of length %d", t.pendingHead, len(t.pending))
 	}
 	if t.c.Inserts-t.c.Evictions-t.c.Expired != uint64(len(t.rules)) {
 		return fmt.Errorf("flow: inserts %d - evictions %d - expired %d != occupancy %d (lost rules)",

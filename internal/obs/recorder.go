@@ -129,21 +129,25 @@ func (r *Recorder) Label() string {
 	return r.label
 }
 
+//snicvet:hotpath
 func (r *Recorder) internTrack(track string) uint16 {
 	if i, ok := r.trackIdx[track]; ok {
 		return i
 	}
 	i := uint16(len(r.tracks))
+	//snicvet:ignore hotpath -- first use of a track name; the interning table is tiny and stops growing
 	r.tracks = append(r.tracks, track)
 	r.trackIdx[track] = i
 	return i
 }
 
+//snicvet:hotpath
 func (r *Recorder) internName(name string) uint16 {
 	if i, ok := r.nameIdx[name]; ok {
 		return i
 	}
 	i := uint16(len(r.names))
+	//snicvet:ignore hotpath -- first use of a span name; the interning table is tiny and stops growing
 	r.names = append(r.names, name)
 	r.nameIdx[name] = i
 	return i
@@ -152,8 +156,11 @@ func (r *Recorder) internName(name string) uint16 {
 // alloc reserves the next span slot, pulling a fresh chunk from the
 // free list when the current one fills. Slots are written in full by
 // every caller, so recycled chunk contents never leak into exports.
+//
+//snicvet:hotpath
 func (r *Recorder) alloc() *span {
 	if r.nspans>>spanChunkShift == len(r.chunks) {
+		//snicvet:ignore hotpath -- chunk boundary, amortized over 4096 spans; chunks come from the shared pool
 		r.chunks = append(r.chunks, spanChunkPool.Get().(*[spanChunkSize]span))
 	}
 	sp := &r.chunks[r.nspans>>spanChunkShift][r.nspans&spanChunkMask]
@@ -163,6 +170,8 @@ func (r *Recorder) alloc() *span {
 
 // spanAt returns the i-th recorded span (0-based). Callers bound i by
 // nspans.
+//
+//snicvet:hotpath
 func (r *Recorder) spanAt(i int) *span {
 	return &r.chunks[i>>spanChunkShift][i&spanChunkMask]
 }
@@ -184,6 +193,8 @@ func (r *Recorder) ReleaseSpans() {
 
 // Open starts a span on track at start and returns its ID. Nil-safe:
 // a nil recorder returns 0.
+//
+//snicvet:hotpath
 func (r *Recorder) Open(track, name string, start sim.Time) SpanID {
 	if r == nil {
 		return 0
@@ -196,6 +207,8 @@ func (r *Recorder) Open(track, name string, start sim.Time) SpanID {
 }
 
 // OpenChild starts a span linked to parent. Nil-safe.
+//
+//snicvet:hotpath
 func (r *Recorder) OpenChild(track, name string, parent SpanID, start sim.Time) SpanID {
 	id := r.Open(track, name, start)
 	if id != 0 {
@@ -206,6 +219,8 @@ func (r *Recorder) OpenChild(track, name string, parent SpanID, start sim.Time) 
 
 // Close ends an open span. Closing span 0 or an already-closed span is
 // a no-op. Nil-safe.
+//
+//snicvet:hotpath
 func (r *Recorder) Close(id SpanID, end sim.Time) {
 	if r == nil || id == 0 || int(id) > r.nspans {
 		return
@@ -218,6 +233,8 @@ func (r *Recorder) Close(id SpanID, end sim.Time) {
 
 // Span records a complete child span in one call. parent may be 0 for
 // a free-standing span. Nil-safe.
+//
+//snicvet:hotpath
 func (r *Recorder) Span(track, name string, parent SpanID, start, end sim.Time) SpanID {
 	if r == nil {
 		return 0
@@ -302,6 +319,8 @@ func (r *Recorder) OpenCount() int {
 
 // Count adds delta to a named counter, registering it on first use.
 // Nil-safe.
+//
+//snicvet:hotpath
 func (r *Recorder) Count(name string, delta float64) {
 	if r == nil {
 		return
@@ -311,6 +330,8 @@ func (r *Recorder) Count(name string, delta float64) {
 
 // SetCount sets a named counter to an absolute value, registering it on
 // first use. Nil-safe.
+//
+//snicvet:hotpath
 func (r *Recorder) SetCount(name string, v float64) {
 	if r == nil {
 		return
@@ -318,11 +339,14 @@ func (r *Recorder) SetCount(name string, v float64) {
 	r.reg.Counter(name, "").Set(v)
 }
 
+//snicvet:hotpath
 func (r *Recorder) resource(name string) *resourceStats {
 	rs, ok := r.resources[name]
 	if !ok {
+		//snicvet:ignore hotpath -- first callback from a resource; the stats set stops growing after warm-up
 		rs = &resourceStats{}
 		r.resources[name] = rs
+		//snicvet:ignore hotpath -- first callback from a resource; the stats set stops growing after warm-up
 		r.resourceKeys = append(r.resourceKeys, name)
 	}
 	return rs
@@ -333,6 +357,8 @@ func (r *Recorder) resource(name string) *resourceStats {
 // batch engine, and link of a testbed.
 
 // JobQueued implements sim.StationObserver.
+//
+//snicvet:hotpath
 func (r *Recorder) JobQueued(station string, _ sim.Time, queueLen int) {
 	rs := r.resource(station)
 	rs.queued++
@@ -342,11 +368,15 @@ func (r *Recorder) JobQueued(station string, _ sim.Time, queueLen int) {
 }
 
 // JobStarted implements sim.StationObserver.
+//
+//snicvet:hotpath
 func (r *Recorder) JobStarted(station string, _ sim.Time, _ sim.Duration) {
 	r.resource(station).started++
 }
 
 // JobFinished implements sim.StationObserver.
+//
+//snicvet:hotpath
 func (r *Recorder) JobFinished(station string, start, end sim.Time) {
 	r.resource(station).finished++
 	if r.Detail {
@@ -355,11 +385,15 @@ func (r *Recorder) JobFinished(station string, start, end sim.Time) {
 }
 
 // JobDropped implements sim.StationObserver.
+//
+//snicvet:hotpath
 func (r *Recorder) JobDropped(station string, _ sim.Time) {
 	r.resource(station).dropped++
 }
 
 // FrameSent implements sim.LinkObserver.
+//
+//snicvet:hotpath
 func (r *Recorder) FrameSent(link string, size int, start, done sim.Time, lost bool) {
 	rs := r.resource(link)
 	rs.frames++
@@ -373,6 +407,8 @@ func (r *Recorder) FrameSent(link string, size int, start, done sim.Time, lost b
 }
 
 // BatchFlushed implements sim.BatchObserver.
+//
+//snicvet:hotpath
 func (r *Recorder) BatchFlushed(station string, tasks int, _ sim.Duration, _ sim.Time) {
 	rs := r.resource(station)
 	rs.batches++

@@ -109,23 +109,57 @@ func (e *PastEventError) Error() string {
 	return fmt.Sprintf("sim: scheduling event at %v before now %v", e.At, e.Now)
 }
 
+// EventHandler is the allocation-free alternative to closure events.
+// The engine stores the (handler, arg) pair in the pooled event record
+// and invokes HandleEvent(arg) at fire time. A pointer receiver and a
+// pointer (or nil) arg convert to their interface words without
+// allocating, which is what keeps steady-state scheduling at zero
+// allocations per event — a closure, by contrast, is a fresh heap
+// object per schedule.
+type EventHandler interface {
+	// HandleEvent runs the event. arg is whatever was passed to
+	// TryAtCall/AtCall/AfterCall, unmodified.
+	HandleEvent(arg any)
+}
+
 // TryAt schedules fn to run at absolute virtual time t, returning a
 // *PastEventError instead of panicking when t is in the past. An event
 // exactly at the current time is valid (it runs this instant, after
 // already-queued events at the same timestamp). Speculative schedulers
 // that compute timestamps from untrusted inputs use this; model code
 // with timestamps it believes in should use At.
+//
+//snicvet:hotpath
 func (e *Engine) TryAt(t Time, fn func()) (EventID, error) {
-	if t < e.now {
-		return 0, &PastEventError{At: t, Now: e.now}
-	}
 	if fn == nil {
 		panic("sim: scheduling nil event")
+	}
+	return e.schedule(t, fn, nil, nil)
+}
+
+// TryAtCall is TryAt for a handler/arg pair instead of a closure: the
+// allocation-free form hot paths use.
+//
+//snicvet:hotpath
+func (e *Engine) TryAtCall(t Time, h EventHandler, arg any) (EventID, error) {
+	if h == nil {
+		panic("sim: scheduling nil event handler")
+	}
+	return e.schedule(t, nil, h, arg)
+}
+
+// schedule is the shared scheduling core behind TryAt and TryAtCall.
+//
+//snicvet:hotpath
+func (e *Engine) schedule(t Time, fn func(), h EventHandler, arg any) (EventID, error) {
+	if t < e.now {
+		//snicvet:ignore hotpath -- error path: a past timestamp aborts the schedule, not the event budget
+		return 0, &PastEventError{At: t, Now: e.now}
 	}
 	e.nextID++
 	id := e.nextID
 	e.seq++
-	heap.Push(&e.queue, e.newEvent(t, e.seq, id, fn))
+	heap.Push(&e.queue, e.newEvent(t, e.seq, id, fn, h, arg))
 	if len(e.queue) > e.heapPeak {
 		e.heapPeak = len(e.queue)
 	}
@@ -134,27 +168,39 @@ func (e *Engine) TryAt(t Time, fn func()) (EventID, error) {
 
 // newEvent takes a record off the free list, or allocates when the pool
 // is dry (cold start, or the heap growing past its previous peak).
-func (e *Engine) newEvent(at Time, seq, id uint64, fn func()) *event {
+//
+//snicvet:hotpath
+func (e *Engine) newEvent(at Time, seq, id uint64, fn func(), h EventHandler, arg any) *event {
 	if n := len(e.free); n > 0 {
 		ev := e.free[n-1]
 		e.free[n-1] = nil
 		e.free = e.free[:n-1]
-		*ev = event{at: at, seq: seq, id: id, fn: fn}
+		ev.at, ev.seq, ev.id = at, seq, id
+		ev.fn, ev.h, ev.arg = fn, h, arg
 		return ev
 	}
-	return &event{at: at, seq: seq, id: id, fn: fn}
+	//snicvet:ignore hotpath -- cold start or heap growth past its previous peak; steady state reuses the free list
+	return &event{at: at, seq: seq, id: id, fn: fn, h: h, arg: arg}
 }
 
-// recycle returns a popped event record to the free list. The closure
-// reference is cleared so recycled records never pin model state.
+// recycle returns a popped event record to the free list. The closure,
+// handler and argument references are cleared so recycled records never
+// pin model state.
+//
+//snicvet:hotpath
 func (e *Engine) recycle(ev *event) {
 	ev.fn = nil
+	ev.h = nil
+	ev.arg = nil
+	//snicvet:ignore hotpath -- reuses capacity once the free list reaches the heap's high-water mark
 	e.free = append(e.free, ev)
 }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // panics with a typed *PastEventError: it always indicates a model bug and
 // silently clamping would hide causality violations.
+//
+//snicvet:hotpath
 func (e *Engine) At(t Time, fn func()) EventID {
 	id, err := e.TryAt(t, fn)
 	if err != nil {
@@ -163,10 +209,30 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	return id
 }
 
+// AtCall is At for a handler/arg pair: the allocation-free form.
+//
+//snicvet:hotpath
+func (e *Engine) AtCall(t Time, h EventHandler, arg any) EventID {
+	id, err := e.TryAtCall(t, h, arg)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
 // After schedules fn to run d after the current time. A negative delay
 // panics with a typed *PastEventError, like At.
+//
+//snicvet:hotpath
 func (e *Engine) After(d Duration, fn func()) EventID {
 	return e.At(e.now.Add(d), fn)
+}
+
+// AfterCall is After for a handler/arg pair: the allocation-free form.
+//
+//snicvet:hotpath
+func (e *Engine) AfterCall(d Duration, h EventHandler, arg any) EventID {
+	return e.AtCall(e.now.Add(d), h, arg)
 }
 
 // Cancel prevents a scheduled event from firing. Cancelling an event that
@@ -218,6 +284,8 @@ func (e *Engine) CancelledPending() int { return len(e.cancelled) }
 
 // Step executes the single earliest pending event. It reports false when
 // the queue is empty.
+//
+//snicvet:hotpath
 func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		ev := heap.Pop(&e.queue).(*event)
@@ -228,11 +296,15 @@ func (e *Engine) Step() bool {
 		}
 		e.now = ev.at
 		e.executed++
-		fn := ev.fn
+		fn, h, arg := ev.fn, ev.h, ev.arg
 		// Recycled before firing so events the handler schedules reuse
 		// this record immediately.
 		e.recycle(ev)
-		fn()
+		if fn != nil {
+			fn()
+		} else {
+			h.HandleEvent(arg)
+		}
 		return true
 	}
 	return false
@@ -273,18 +345,23 @@ func (e *Engine) RunUntil(deadline Time) {
 
 // event is a queue entry. seq breaks timestamp ties so that events
 // scheduled earlier run earlier, which keeps FIFO semantics for models that
-// schedule several events "now".
+// schedule several events "now". Exactly one of fn and h is set: fn for
+// closure events, h (with its arg) for handler events.
 type event struct {
 	at  Time
 	seq uint64
 	id  uint64
 	fn  func()
+	h   EventHandler
+	arg any
 }
 
 type eventHeap []*event
 
+//snicvet:hotpath
 func (h eventHeap) Len() int { return len(h) }
 
+//snicvet:hotpath
 func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
@@ -292,10 +369,16 @@ func (h eventHeap) Less(i, j int) bool {
 	return h[i].seq < h[j].seq
 }
 
+//snicvet:hotpath
 func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+//snicvet:hotpath
+func (h *eventHeap) Push(x any) {
+	//snicvet:ignore hotpath -- reuses capacity once the heap reaches its high-water mark
+	*h = append(*h, x.(*event))
+}
 
+//snicvet:hotpath
 func (h *eventHeap) Pop() any {
 	old := *h
 	n := len(old)

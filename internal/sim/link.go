@@ -86,7 +86,11 @@ func (l *Link) effectiveRate() float64 {
 
 // Send transmits size bytes and invokes deliver at the instant the last
 // bit arrives at the far end. It returns the departure completion time
-// (when the link frees up, before propagation).
+// (when the link frees up, before propagation). The delivery callback
+// is scheduled as-is — no wrapping closure — so a frame costs the link
+// no allocation beyond whatever the caller's callback already is.
+//
+//snicvet:hotpath
 func (l *Link) Send(size int, deliver func()) Time {
 	now := l.eng.Now()
 	start := now
@@ -106,14 +110,18 @@ func (l *Link) Send(size int, deliver func()) Time {
 		l.lost++
 		return done
 	}
-	arrival := done.Add(l.propagation)
-	l.eng.At(arrival, func() {
-		if deliver != nil {
-			deliver()
-		}
-	})
+	if deliver == nil {
+		// Still mark the arrival instant: a nil-deliver frame must keep
+		// advancing the clock (Backlog drains on Run), just without work.
+		deliver = nopDeliver
+	}
+	l.eng.At(done.Add(l.propagation), deliver)
 	return done
 }
+
+// nopDeliver stands in for a nil delivery callback. A reference to a
+// package-level function is a constant funcval — no per-frame closure.
+func nopDeliver() {}
 
 // Backlog returns how far in the future the link is already committed,
 // i.e. the serialization queue depth expressed as time.

@@ -10,8 +10,10 @@ type Job struct {
 	Size int
 
 	// enqueuedAt records submission time for queue-wait accounting when
-	// an observer is installed.
+	// an observer is installed; startedAt carries the service start to
+	// the completion handler, so no per-job closure is needed.
 	enqueuedAt Time
+	startedAt  Time
 }
 
 // Station is a multi-server FIFO queue: the canonical model of a pool of
@@ -25,7 +27,12 @@ type Station struct {
 	eng     *Engine
 	servers int
 	busy    int
-	queue   []*Job
+	// queue is a ring-flavoured FIFO: qhead indexes the next job to
+	// dispatch and pops advance it instead of re-slicing, so the backing
+	// array is reused instead of crawling forward and forcing append to
+	// reallocate every Capacity pushes.
+	queue []*Job
+	qhead int
 	// Capacity limits the queue length; zero means unbounded. When the
 	// queue is full new jobs are dropped and counted — this is how NIC RX
 	// rings shed load at overrun.
@@ -64,7 +71,9 @@ func (s *Station) Servers() int { return s.servers }
 func (s *Station) Busy() int { return s.busy }
 
 // QueueLen returns the number of jobs waiting (not in service).
-func (s *Station) QueueLen() int { return len(s.queue) }
+//
+//snicvet:hotpath
+func (s *Station) QueueLen() int { return len(s.queue) - s.qhead }
 
 // Completed returns the number of jobs fully served.
 func (s *Station) Completed() uint64 { return s.completed }
@@ -95,6 +104,8 @@ func (s *Station) Observe(name string, obs StationObserver) {
 
 // Submit enqueues a job. It reports false if the job was dropped because
 // the queue is at capacity.
+//
+//snicvet:hotpath
 func (s *Station) Submit(j *Job) bool {
 	if j == nil {
 		panic("sim: Submit(nil)")
@@ -104,19 +115,30 @@ func (s *Station) Submit(j *Job) bool {
 		s.start(j)
 		return true
 	}
-	if s.Capacity > 0 && len(s.queue) >= s.Capacity {
+	if s.Capacity > 0 && s.QueueLen() >= s.Capacity {
 		s.dropped++
 		if s.obs != nil {
 			s.obs.JobDropped(s.name, s.eng.Now())
 		}
 		return false
 	}
+	if s.qhead > 0 && len(s.queue) == cap(s.queue) {
+		// Compact the live region to the front so append reuses the
+		// backing array instead of growing it.
+		n := copy(s.queue, s.queue[s.qhead:])
+		for i := n; i < len(s.queue); i++ {
+			s.queue[i] = nil
+		}
+		s.queue = s.queue[:n]
+		s.qhead = 0
+	}
+	//snicvet:ignore hotpath -- amortized ring growth; a steady-state queue reuses its capacity
 	s.queue = append(s.queue, j)
-	if len(s.queue) > s.queuePeak {
-		s.queuePeak = len(s.queue)
+	if n := s.QueueLen(); n > s.queuePeak {
+		s.queuePeak = n
 	}
 	if s.obs != nil {
-		s.obs.JobQueued(s.name, s.eng.Now(), len(s.queue))
+		s.obs.JobQueued(s.name, s.eng.Now(), s.QueueLen())
 	}
 	return true
 }
@@ -129,10 +151,12 @@ func (s *Station) StallUntil(t Time) { s.stallUntil = t }
 // Stalled reports whether a stall gate is currently active.
 func (s *Station) Stalled() bool { return s.stallUntil > s.eng.Now() }
 
+//snicvet:hotpath
 func (s *Station) start(j *Job) {
 	s.accrue()
 	s.busy++
 	begin := s.eng.Now()
+	j.startedAt = begin
 	if s.obs != nil {
 		s.obs.JobStarted(s.name, begin, begin.Sub(j.enqueuedAt))
 	}
@@ -140,33 +164,49 @@ func (s *Station) start(j *Job) {
 	if hold := s.stallUntil.Sub(begin); hold > 0 {
 		svc += hold
 	}
-	s.eng.After(svc, func() {
-		s.accrue()
-		s.busy--
-		s.completed++
-		// Dispatch queued work BEFORE invoking Done: a closed-loop
-		// client that re-submits from its completion callback must go
-		// to the back of the queue, not steal the freed server.
-		s.dispatch()
-		if s.obs != nil {
-			s.obs.JobFinished(s.name, begin, s.eng.Now())
-		}
-		if j.Done != nil {
-			j.Done(begin, s.eng.Now())
-		}
-	})
+	s.eng.AfterCall(svc, s, j)
 }
 
+// HandleEvent completes a job at service end: the station schedules
+// itself as the engine handler with the job as argument, so completion
+// costs no closure. Never call it directly.
+//
+//snicvet:hotpath
+func (s *Station) HandleEvent(arg any) {
+	j := arg.(*Job)
+	s.accrue()
+	s.busy--
+	s.completed++
+	// Dispatch queued work BEFORE invoking Done: a closed-loop
+	// client that re-submits from its completion callback must go
+	// to the back of the queue, not steal the freed server.
+	s.dispatch()
+	if s.obs != nil {
+		s.obs.JobFinished(s.name, j.startedAt, s.eng.Now())
+	}
+	if j.Done != nil {
+		j.Done(j.startedAt, s.eng.Now())
+	}
+}
+
+//snicvet:hotpath
 func (s *Station) dispatch() {
-	for s.busy < s.servers && len(s.queue) > 0 {
-		j := s.queue[0]
-		s.queue[0] = nil
-		s.queue = s.queue[1:]
+	for s.busy < s.servers && s.qhead < len(s.queue) {
+		j := s.queue[s.qhead]
+		s.queue[s.qhead] = nil
+		s.qhead++
+		if s.qhead == len(s.queue) {
+			// Drained: rewind to the front of the backing array.
+			s.queue = s.queue[:0]
+			s.qhead = 0
+		}
 		s.start(j)
 	}
 }
 
 // accrue folds busy-time since the last state change into the counter.
+//
+//snicvet:hotpath
 func (s *Station) accrue() {
 	now := s.eng.Now()
 	s.busyTime += now.Sub(s.lastChange) * Duration(s.busy)

@@ -184,6 +184,7 @@ func TestYCSBZipfSkew(t *testing.T) {
 		}
 	}
 	if hottest < 500 {
+		//snicvet:ignore detflow -- max over map values is the same whatever order the map yields them
 		t.Fatalf("hottest key count %d: Zipf skew missing", hottest)
 	}
 }

@@ -8,7 +8,7 @@ import "repro/tools/snicvet/internal/lint"
 
 // All returns the full snicvet suite in reporting order.
 func All() []*lint.Analyzer {
-	return []*lint.Analyzer{Wallclock, Seedrand, Maporder, Unitcheck, Floateq}
+	return []*lint.Analyzer{Wallclock, Seedrand, Maporder, Detflow, Hotpath, Unitcheck, Floateq}
 }
 
 // ByName returns the analyzer with the given name, or nil.

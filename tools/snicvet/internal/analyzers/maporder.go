@@ -8,61 +8,28 @@ import (
 	"repro/tools/snicvet/internal/lint"
 )
 
-// Maporder flags `for range` over a map whose body feeds an
-// order-sensitive sink: appending to a slice that is never sorted,
-// writing through fmt/log/io.Writer/testing helpers, or calling into
-// the telemetry (internal/obs) or report layers. Go randomizes map
-// iteration order per process, so any of these silently breaks the
-// byte-identical-output guarantee the golden-file diffs enforce.
+// Maporder flags map-ordered data escaping into later use: appending
+// inside a `for range` over a map to a slice that is never sorted, and
+// — via propagated MapOrderEscapes facts — calls to functions that
+// return such data. Go randomizes map iteration order per process, so
+// either silently breaks the byte-identical-output guarantee the
+// golden-file diffs enforce.
 //
 // The canonical collect-keys-then-sort idiom is recognized: an append
-// target that is later passed to a sort/slices call in the same
-// function is not reported.
+// target (or a call result) that is later passed to a sort/slices call
+// in the same function is not reported.
+//
+// Emission sinks inside map iteration (fmt/log, io.Writer, telemetry,
+// testing helpers) were part of this analyzer through snicvet v1; that
+// ad-hoc sink list is retired in favour of the detflow taint pass,
+// which tracks the same sinks plus value flow (see detflow.go and
+// DESIGN.md §14).
 var Maporder = &lint.Analyzer{
 	Name: "maporder",
-	Doc: "flag map iteration that emits output or collects into an " +
-		"unsorted slice; sort keys before emission to keep output byte-identical",
+	Doc: "flag map iteration that collects into an unsorted slice, and " +
+		"calls to functions whose results carry map iteration order",
 	Run: runMaporder,
 }
-
-// emitFuncs lists package-level functions that write directly to a
-// stream. Sprint* variants are excluded: their results flow into
-// expressions the append/collect rule already covers.
-var emitFuncs = map[string]map[string]bool{
-	"fmt": {
-		"Print": true, "Printf": true, "Println": true,
-		"Fprint": true, "Fprintf": true, "Fprintln": true,
-	},
-	"log": {
-		"Print": true, "Printf": true, "Println": true,
-		"Fatal": true, "Fatalf": true, "Fatalln": true,
-		"Panic": true, "Panicf": true, "Panicln": true,
-	},
-}
-
-// emitMethodPkgs are packages whose functions and methods record or
-// emit in call order: anything reached from an unsorted map walk makes
-// trace/report bytes depend on iteration order.
-var emitMethodPkgs = map[string]bool{
-	"repro/internal/obs":    true,
-	"repro/internal/report": true,
-	"testing":               true,
-}
-
-// ioWriterIface is a structural io.Writer, built by hand so the
-// analyzer needs no dependency on the io package's export data.
-var ioWriterIface = func() *types.Interface {
-	errType := types.Universe.Lookup("error").Type()
-	sig := types.NewSignatureType(nil, nil, nil,
-		types.NewTuple(types.NewVar(token.NoPos, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
-		types.NewTuple(
-			types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
-			types.NewVar(token.NoPos, nil, "err", errType)),
-		false)
-	iface := types.NewInterfaceType([]*types.Func{types.NewFunc(token.NoPos, nil, "Write", sig)}, nil)
-	iface.Complete()
-	return iface
-}()
 
 func runMaporder(pass *lint.Pass) error {
 	for _, file := range pass.Files {
@@ -72,6 +39,7 @@ func runMaporder(pass *lint.Pass) error {
 				continue
 			}
 			checkFuncMapRanges(pass, fd.Body)
+			checkMapOrderedCalls(pass, fd.Body)
 		}
 	}
 	return nil
@@ -79,7 +47,7 @@ func runMaporder(pass *lint.Pass) error {
 
 // checkFuncMapRanges finds map-range statements anywhere in body
 // (including nested function literals) and inspects their bodies for
-// order-sensitive sinks. Sort calls are searched in the whole enclosing
+// unsorted collects. Sort calls are searched in the whole enclosing
 // declaration, which is where the collect-then-sort idiom puts them.
 func checkFuncMapRanges(pass *lint.Pass, body *ast.BlockStmt) {
 	ast.Inspect(body, func(n ast.Node) bool {
@@ -106,45 +74,86 @@ func checkRangeBody(pass *lint.Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt
 			return true
 		}
 		// append to a slice declared outside the loop, never sorted.
-		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
-			target, ok := call.Args[0].(*ast.Ident)
+		id, ok := call.Fun.(*ast.Ident)
+		if !ok || id.Name != "append" || len(call.Args) == 0 {
+			return true
+		}
+		target, ok := call.Args[0].(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := pass.TypesInfo.ObjectOf(target)
+		if obj == nil || insideRange(obj.Pos(), rs) {
+			return true
+		}
+		if !sortedLater(pass.TypesInfo, obj, enclosing) {
+			pass.Reportf(call.Pos(),
+				"append to %s inside map iteration has nondeterministic order; sort the keys (or %s) before use",
+				target.Name, target.Name)
+		}
+		return true
+	})
+}
+
+// checkMapOrderedCalls flags cross-package calls to functions whose
+// propagated MapOrderEscapes fact is set, unless the result is sorted:
+// assigned to variables that a later sort/slices call covers, or passed
+// directly into one.
+func checkMapOrderedCalls(pass *lint.Pass, body *ast.BlockStmt) {
+	// Pass 1: find call results that are sanctioned by a sort.
+	sanctioned := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if len(n.Rhs) != 1 {
+				return true
+			}
+			call, ok := n.Rhs[0].(*ast.CallExpr)
 			if !ok {
 				return true
 			}
-			obj := pass.TypesInfo.ObjectOf(target)
-			if obj == nil || insideRange(obj.Pos(), rs) {
+			for _, lhs := range n.Lhs {
+				lid, ok := lhs.(*ast.Ident)
+				if !ok || lid.Name == "_" {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(lid)
+				if obj == nil || !sortedLater(pass.TypesInfo, obj, body) {
+					return true
+				}
+			}
+			sanctioned[call] = true
+		case *ast.CallExpr:
+			// sort.Strings(pkg.Keys(m)): the nested call is sorted
+			// in place before any use.
+			fn := calleeFunc2(pass.TypesInfo, n)
+			if fn == nil || fn.Pkg() == nil {
 				return true
 			}
-			if !sortedLater(pass, obj, enclosing) {
-				pass.Reportf(call.Pos(),
-					"append to %s inside map iteration has nondeterministic order; sort the keys (or %s) before use",
-					target.Name, target.Name)
+			if p := fn.Pkg().Path(); p == "sort" || p == "slices" {
+				for _, arg := range n.Args {
+					if c, ok := ast.Unparen(arg).(*ast.CallExpr); ok {
+						sanctioned[c] = true
+					}
+				}
 			}
+		}
+		return true
+	})
+	// Pass 2: report un-sanctioned calls with the MapOrderEscapes fact.
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sanctioned[call] {
 			return true
 		}
-		// Direct emission: fmt/log print family, testing helpers,
-		// telemetry/report calls, io.Writer methods.
-		fn := calleeFunc(pass, call)
-		if fn == nil || fn.Pkg() == nil {
+		fn := calleeFunc2(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == pass.Pkg.Path() {
 			return true
 		}
-		pkg := fn.Pkg().Path()
-		if names, ok := emitFuncs[pkg]; ok && names[fn.Name()] {
+		if f, ok := pass.Facts.Lookup(fn); ok && f.MapOrderEscapes {
 			pass.Reportf(call.Pos(),
-				"%s.%s inside map iteration emits in nondeterministic order; sort the keys before emitting",
-				pkg, fn.Name())
-			return true
-		}
-		if emitMethodPkgs[pkg] {
-			pass.Reportf(call.Pos(),
-				"call to %s.%s inside map iteration records in nondeterministic order; sort the keys first",
-				pkg, fn.Name())
-			return true
-		}
-		if recv := recvType(fn); recv != nil && types.Implements(recv, ioWriterIface) &&
-			(fn.Name() == "Write" || fn.Name() == "WriteString" || fn.Name() == "WriteByte" || fn.Name() == "WriteRune") {
-			pass.Reportf(call.Pos(),
-				"write to %v inside map iteration emits in nondeterministic order; sort the keys before writing", recv)
+				"call to %s returns map-ordered data (%s); sort the result before it reaches output or state",
+				lint.FuncDisplay(fn), f.MapOrderVia)
 		}
 		return true
 	})
@@ -152,24 +161,7 @@ func checkRangeBody(pass *lint.Pass, rs *ast.RangeStmt, enclosing *ast.BlockStmt
 
 // calleeFunc resolves the called function or method, if statically known.
 func calleeFunc(pass *lint.Pass, call *ast.CallExpr) *types.Func {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		fn, _ := pass.TypesInfo.Uses[fun].(*types.Func)
-		return fn
-	case *ast.SelectorExpr:
-		fn, _ := pass.TypesInfo.Uses[fun.Sel].(*types.Func)
-		return fn
-	}
-	return nil
-}
-
-// recvType returns the receiver type of a method, or nil for plain functions.
-func recvType(fn *types.Func) types.Type {
-	sig, ok := fn.Type().(*types.Signature)
-	if !ok || sig.Recv() == nil {
-		return nil
-	}
-	return sig.Recv().Type()
+	return calleeFunc2(pass.TypesInfo, call)
 }
 
 // insideRange reports whether pos falls within the range statement.
@@ -180,7 +172,7 @@ func insideRange(pos token.Pos, rs *ast.RangeStmt) bool {
 // sortedLater reports whether obj is passed (possibly nested in a
 // conversion such as sort.Sort(byName(s))) to a sort or slices call
 // anywhere in the enclosing function body.
-func sortedLater(pass *lint.Pass, obj types.Object, body *ast.BlockStmt) bool {
+func sortedLater(info *types.Info, obj types.Object, body *ast.BlockStmt) bool {
 	found := false
 	ast.Inspect(body, func(n ast.Node) bool {
 		if found {
@@ -194,7 +186,7 @@ func sortedLater(pass *lint.Pass, obj types.Object, body *ast.BlockStmt) bool {
 		if !ok {
 			return true
 		}
-		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		fn, ok := info.Uses[sel.Sel].(*types.Func)
 		if !ok || fn.Pkg() == nil {
 			return true
 		}
@@ -203,7 +195,7 @@ func sortedLater(pass *lint.Pass, obj types.Object, body *ast.BlockStmt) bool {
 		}
 		for _, arg := range call.Args {
 			ast.Inspect(arg, func(m ast.Node) bool {
-				if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				if id, ok := m.(*ast.Ident); ok && info.ObjectOf(id) == obj {
 					found = true
 				}
 				return !found

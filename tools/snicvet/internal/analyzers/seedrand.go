@@ -47,6 +47,24 @@ func runSeedrand(pass *lint.Pass) error {
 					path)
 			}
 		}
+		// Transitive: helpers that reach math/rand through any number of
+		// calls, reported at the model-code call site via facts.
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc2(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == pass.Pkg.Path() {
+				return true
+			}
+			if f, ok := pass.Facts.Lookup(fn); ok && f.UsesUnseededRand {
+				pass.Reportf(call.Pos(),
+					"call to %s transitively draws from math/rand (%s); use sim.NewRNG / RNG.Fork per component",
+					lint.FuncDisplay(fn), f.RandVia)
+			}
+			return true
+		})
 		// Package-level RNG variables are shared mutable streams: any
 		// new caller perturbs every existing caller's draws.
 		for _, decl := range file.Decls {

@@ -37,18 +37,31 @@ var Wallclock = &lint.Analyzer{
 func runWallclock(pass *lint.Pass) error {
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
-			sel, ok := n.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
-				return true
-			}
-			if wallclockFuncs[fn.Name()] {
-				pass.Reportf(sel.Pos(),
-					"time.%s reads the wall clock; model code must use the sim.Engine virtual clock (sim.Time/sim.Duration)",
-					fn.Name())
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if wallclockFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"time.%s reads the wall clock; model code must use the sim.Engine virtual clock (sim.Time/sim.Duration)",
+						fn.Name())
+				}
+			case *ast.CallExpr:
+				// Transitive: a call to a function whose propagated fact
+				// says it reaches the wall clock, however many helpers
+				// deep. Same-package roots are reported directly above;
+				// here only cross-package laundering is flagged.
+				fn := calleeFunc2(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() == pass.Pkg.Path() {
+					return true
+				}
+				if f, ok := pass.Facts.Lookup(fn); ok && f.ReadsWallClock {
+					pass.Reportf(n.Pos(),
+						"call to %s transitively reads the wall clock (%s); model code must use the sim.Engine virtual clock",
+						lint.FuncDisplay(fn), f.WallClockVia)
+				}
 			}
 			return true
 		})

@@ -28,6 +28,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/tools/snicvet/internal/analyzers"
 	"repro/tools/snicvet/internal/lint"
 )
 
@@ -124,8 +125,8 @@ func splitQuoted(s string) []string {
 	}
 }
 
-// Load parses and typechecks the fixture package in dir.
-func Load(t *testing.T, dir string) *lint.Unit {
+// parseDir parses the .go files directly in dir, in name order.
+func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
 	t.Helper()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
@@ -141,8 +142,6 @@ func Load(t *testing.T, dir string) *lint.Unit {
 	if len(names) == 0 {
 		t.Fatalf("no fixture files in %s", dir)
 	}
-
-	fset := token.NewFileSet()
 	var files []*ast.File
 	for _, name := range names {
 		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
@@ -151,21 +150,38 @@ func Load(t *testing.T, dir string) *lint.Unit {
 		}
 		files = append(files, f)
 	}
+	return files
+}
 
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+// newInfo allocates the types.Info maps the analyzers rely on.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// compiledImporter resolves standard-library and module imports from
+// the go command's export data.
+func compiledImporter(fset *token.FileSet) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, err := exportFile(path)
 		if err != nil {
 			return nil, err
 		}
 		return os.Open(f)
 	})
-	tc := &types.Config{Importer: imp}
-	info := &types.Info{
-		Types:      make(map[ast.Expr]types.TypeAndValue),
-		Defs:       make(map[*ast.Ident]types.Object),
-		Uses:       make(map[*ast.Ident]types.Object),
-		Selections: make(map[*ast.SelectorExpr]*types.Selection),
-	}
+}
+
+// Load parses and typechecks the fixture package in dir.
+func Load(t *testing.T, dir string) *lint.Unit {
+	t.Helper()
+	fset := token.NewFileSet()
+	files := parseDir(t, fset, dir)
+	tc := &types.Config{Importer: compiledImporter(fset)}
+	info := newInfo()
 	pkgPath := "snicvet.test/" + filepath.Base(dir)
 	pkg, err := tc.Check(pkgPath, fset, files, info)
 	if err != nil {
@@ -173,6 +189,111 @@ func Load(t *testing.T, dir string) *lint.Unit {
 	}
 	return &lint.Unit{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}
 }
+
+// project loads a multi-package fixture: every subdirectory of root is
+// one package, importable by its siblings as "snicvet.test/<base>/<sub>".
+// Packages load lazily in dependency order; after each one typechecks,
+// its facts are computed and round-tripped through the wire encoding
+// into the shared FactDB — the same path the driver's vetx files take —
+// so cross-package fact propagation behaves exactly as under go vet.
+type project struct {
+	t       *testing.T
+	root    string
+	base    string
+	fset    *token.FileSet
+	units   map[string]*lint.Unit
+	order   []string
+	loading map[string]bool
+	facts   *lint.FactDB
+}
+
+// LoadProject typechecks the multi-package fixture rooted at dir and
+// returns its units in dependency order plus the shared fact database.
+func LoadProject(t *testing.T, dir string) ([]*lint.Unit, *lint.FactDB) {
+	t.Helper()
+	p := &project{
+		t:       t,
+		root:    dir,
+		base:    "snicvet.test/" + filepath.Base(dir),
+		fset:    token.NewFileSet(),
+		units:   make(map[string]*lint.Unit),
+		loading: make(map[string]bool),
+		facts:   lint.NewFactDB(),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var subs []string
+	for _, e := range entries {
+		if e.IsDir() {
+			subs = append(subs, e.Name())
+		}
+	}
+	sort.Strings(subs)
+	if len(subs) == 0 {
+		t.Fatalf("no fixture packages in %s", dir)
+	}
+	for _, sub := range subs {
+		p.ensure(p.base + "/" + sub)
+	}
+	units := make([]*lint.Unit, 0, len(p.order))
+	for _, path := range p.order {
+		units = append(units, p.units[path])
+	}
+	return units, p.facts
+}
+
+// ensure loads the fixture package at the given import path (and,
+// recursively, the fixture packages it imports) exactly once.
+func (p *project) ensure(path string) *types.Package {
+	if u, ok := p.units[path]; ok {
+		return u.Pkg
+	}
+	if p.loading[path] {
+		p.t.Fatalf("fixture import cycle through %s", path)
+	}
+	p.loading[path] = true
+	defer delete(p.loading, path)
+
+	sub := strings.TrimPrefix(path, p.base+"/")
+	files := parseDir(p.t, p.fset, filepath.Join(p.root, sub))
+	compiled := compiledImporter(p.fset)
+	imp := importerFunc(func(importPath string) (*types.Package, error) {
+		if strings.HasPrefix(importPath, p.base+"/") {
+			return p.ensure(importPath), nil
+		}
+		return compiled.Import(importPath)
+	})
+	tc := &types.Config{Importer: imp}
+	info := newInfo()
+	pkg, err := tc.Check(path, p.fset, files, info)
+	if err != nil {
+		p.t.Fatalf("typechecking fixture %s: %v", path, err)
+	}
+	u := &lint.Unit{Fset: p.fset, Files: files, Pkg: pkg, TypesInfo: info, Facts: p.facts}
+
+	// Compute this package's facts against what its dependencies
+	// published, then round-trip them through the vetx wire format.
+	pf := analyzers.ComputeFacts(u, p.facts)
+	data, err := pf.Encode()
+	if err != nil {
+		p.t.Fatalf("encoding facts for %s: %v", path, err)
+	}
+	decoded, err := lint.DecodeFacts(data)
+	if err != nil {
+		p.t.Fatalf("decoding facts for %s: %v", path, err)
+	}
+	p.facts.Add(decoded)
+
+	p.units[path] = u
+	p.order = append(p.order, path)
+	return pkg
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
 // Run loads the fixture package in dir, runs the analyzers, and
 // reports any mismatch between findings and // want clauses.
@@ -183,12 +304,39 @@ func Run(t *testing.T, dir string, as ...*lint.Analyzer) {
 	if err != nil {
 		t.Fatal(err)
 	}
-
 	var wants []*expectation
 	for _, f := range unit.Files {
 		wants = append(wants, parseWants(t, unit.Fset, f)...)
 	}
+	diff(t, findings, wants)
+}
 
+// RunProject loads the multi-package fixture rooted at dir (see
+// LoadProject), runs the analyzers over every package with the shared
+// fact database attached, and diffs all findings against all // want
+// clauses. This is how cross-package fact propagation is tested.
+func RunProject(t *testing.T, dir string, as ...*lint.Analyzer) {
+	t.Helper()
+	units, _ := LoadProject(t, dir)
+	var findings []lint.Finding
+	var wants []*expectation
+	for _, u := range units {
+		fs, err := lint.Run(u, as)
+		if err != nil {
+			t.Fatal(err)
+		}
+		findings = append(findings, fs...)
+		for _, f := range u.Files {
+			wants = append(wants, parseWants(t, u.Fset, f)...)
+		}
+	}
+	diff(t, findings, wants)
+}
+
+// diff matches findings against want clauses one-to-one and reports
+// both unexpected findings and unmatched wants.
+func diff(t *testing.T, findings []lint.Finding, wants []*expectation) {
+	t.Helper()
 	for _, f := range findings {
 		matched := false
 		for _, w := range wants {

@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/types"
+)
+
+// Per-function facts, propagated bottom-up over the call graph and
+// serialized through the vet-tool "vetx" fact files. The go command
+// runs the tool over every dependency before the package that imports
+// it and chains the resulting vetx files through the build cache, so a
+// fact computed for a leaf helper is visible — and cache-invalidated —
+// wherever the helper is called, however many packages away.
+//
+// Facts make the determinism analyzers transitive: a time.Now laundered
+// through three helpers is reported at the model-code call site, not
+// just at the read. A fact is cleared at its root when the root is
+// suppressed with a //snicvet:ignore directive, so one justified
+// suppression silences the whole downstream chain — reports are driven
+// by facts, not by line matching.
+
+// FuncFact is the fact set of one function or method. The Via strings
+// carry a representative provenance chain ("helper.Label → leaf.Stamp →
+// time.Now") for diagnostics; they do not affect fact identity.
+type FuncFact struct {
+	// ReadsWallClock: the function (or something it calls) reads or
+	// schedules against the host clock via the time package.
+	ReadsWallClock bool   `json:"wallclock,omitempty"`
+	WallClockVia   string `json:"wallclock_via,omitempty"`
+
+	// UsesUnseededRand: the function reaches math/rand (v1 or v2).
+	UsesUnseededRand bool   `json:"rand,omitempty"`
+	RandVia          string `json:"rand_via,omitempty"`
+
+	// MapOrderEscapes: the function returns data whose order depends on
+	// map iteration (an unsorted collect inside a map range).
+	MapOrderEscapes bool   `json:"maporder,omitempty"`
+	MapOrderVia     string `json:"maporder_via,omitempty"`
+
+	// Allocates: the function may allocate on the heap. Consumed by the
+	// hotpath analyzer at call sites inside //snicvet:hotpath functions.
+	Allocates    bool   `json:"allocates,omitempty"`
+	AllocatesVia string `json:"allocates_via,omitempty"`
+}
+
+// Empty reports whether no fact bit is set.
+func (f FuncFact) Empty() bool {
+	return !f.ReadsWallClock && !f.UsesUnseededRand && !f.MapOrderEscapes && !f.Allocates
+}
+
+// PackageFacts is the fact set of one package, keyed by FuncKey.
+type PackageFacts struct {
+	Schema int                 `json:"schema"`
+	Path   string              `json:"path"`
+	Funcs  map[string]FuncFact `json:"funcs,omitempty"`
+}
+
+// FactSchema versions the vetx wire format; bump on incompatible change.
+const FactSchema = 1
+
+// factsMagic heads every snicvet vetx file so foreign or legacy (empty)
+// fact files are recognized and skipped rather than misparsed.
+const factsMagic = "snicvet-facts\n"
+
+// NewPackageFacts returns an empty fact set for the package path.
+func NewPackageFacts(path string) *PackageFacts {
+	return &PackageFacts{Schema: FactSchema, Path: path, Funcs: make(map[string]FuncFact)}
+}
+
+// Encode serializes the facts deterministically: identical fact sets
+// produce identical bytes (encoding/json writes map keys sorted), so
+// the vetx file — and through it the go build cache key of every
+// importer — changes exactly when the facts change.
+func (p *PackageFacts) Encode() ([]byte, error) {
+	// Drop all-empty entries so incidental bookkeeping never perturbs
+	// the bytes importers hash.
+	for k, f := range p.Funcs {
+		if f.Empty() {
+			delete(p.Funcs, k)
+		}
+	}
+	body, err := json.Marshal(p)
+	if err != nil {
+		return nil, fmt.Errorf("lint: encoding facts for %s: %w", p.Path, err)
+	}
+	return append([]byte(factsMagic), body...), nil
+}
+
+// DecodeFacts parses an encoded fact file. Empty input (the pre-fact
+// vetx files, and std-library placeholders) and foreign formats yield
+// (nil, nil): no facts, not an error.
+func DecodeFacts(data []byte) (*PackageFacts, error) {
+	if len(data) == 0 || !bytes.HasPrefix(data, []byte(factsMagic)) {
+		return nil, nil
+	}
+	p := new(PackageFacts)
+	if err := json.Unmarshal(data[len(factsMagic):], p); err != nil {
+		return nil, fmt.Errorf("lint: decoding facts: %w", err)
+	}
+	if p.Schema != FactSchema {
+		// A schema bump changes the tool binary and with it the -V=full
+		// cache key, so stale files should not survive; tolerate them
+		// anyway (facts are an optimization, not a soundness input).
+		return nil, nil
+	}
+	return p, nil
+}
+
+// FactDB indexes the fact sets of a unit's dependencies (and, once
+// computed, the unit itself) by package path.
+type FactDB struct {
+	pkgs map[string]*PackageFacts
+}
+
+// NewFactDB returns an empty database.
+func NewFactDB() *FactDB {
+	return &FactDB{pkgs: make(map[string]*PackageFacts)}
+}
+
+// Add registers a package's facts, replacing any previous entry.
+func (db *FactDB) Add(p *PackageFacts) {
+	if p != nil {
+		db.pkgs[p.Path] = p
+	}
+}
+
+// Package returns the facts recorded for an import path, or nil.
+func (db *FactDB) Package(path string) *PackageFacts {
+	if db == nil {
+		return nil
+	}
+	return db.pkgs[path]
+}
+
+// Lookup returns the fact set of a resolved function, if its package's
+// facts are loaded.
+func (db *FactDB) Lookup(fn *types.Func) (FuncFact, bool) {
+	if db == nil || fn == nil || fn.Pkg() == nil {
+		return FuncFact{}, false
+	}
+	p := db.pkgs[fn.Pkg().Path()]
+	if p == nil {
+		return FuncFact{}, false
+	}
+	f, ok := p.Funcs[FuncKey(fn)]
+	return f, ok
+}
+
+// FuncKey is the stable per-package identifier facts are keyed by:
+// "Name" for functions, "(Recv).Name" for methods, with the receiver
+// printed package-locally ("(*Engine).At"). Generic instantiations key
+// as their origin.
+func FuncKey(fn *types.Func) string {
+	fn = fn.Origin()
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		recv := types.TypeString(sig.Recv().Type(), func(*types.Package) string { return "" })
+		return "(" + recv + ")." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// FuncDisplay renders a function for diagnostics and Via chains:
+// "sim.(*Engine).At", "leaf.Stamp".
+func FuncDisplay(fn *types.Func) string {
+	key := FuncKey(fn)
+	if fn.Pkg() == nil {
+		return key
+	}
+	return fn.Pkg().Name() + "." + key
+}

@@ -39,6 +39,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts holds the propagated per-function facts of the unit's
+	// dependencies and of the unit itself (see facts.go). May be nil
+	// when the driver runs without fact files.
+	Facts *FactDB
+
 	// Report delivers one diagnostic. Populated by the driver.
 	Report func(Diagnostic)
 }
@@ -67,16 +72,24 @@ type Finding struct {
 //	//snicvet:ignore <analyzer> <reason>
 //
 // The directive applies to findings on its own line (trailing comment)
-// or on the line immediately below (standalone comment line). The
-// analyzer field may be a comma-separated list of analyzer names or
-// "all". A non-empty reason is mandatory: a suppression without a
-// recorded justification is itself reported.
+// or on the statement beginning on the line immediately below
+// (standalone comment line). When that statement spans several lines —
+// a multi-line composite literal, wrapped call arguments — the
+// suppression covers the whole statement, not just its first line.
+// Statements with bodies (if/for/switch blocks, function declarations)
+// are never extended: covering a whole block from one directive would
+// hide unrelated findings. The analyzer field may be a comma-separated
+// list of analyzer names or "all". A non-empty reason is mandatory: a
+// suppression without a recorded justification is itself reported.
 const IgnorePrefix = "//snicvet:ignore"
 
 // suppression is one parsed ignore directive.
 type suppression struct {
 	analyzers map[string]bool // nil means "all"
 	line      int
+	// end is the last covered line: the end of the simple statement the
+	// directive attaches to, or line+1 when none does.
+	end int
 }
 
 // Suppressions indexes the ignore directives of one compilation unit.
@@ -91,6 +104,7 @@ type Suppressions struct {
 func ParseSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 	s := &Suppressions{byFile: make(map[string][]suppression)}
 	for _, f := range files {
+		extents := stmtExtents(fset, f)
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				if !strings.HasPrefix(c.Text, IgnorePrefix) {
@@ -109,7 +123,15 @@ func ParseSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 					})
 					continue
 				}
-				sup := suppression{line: posn.Line}
+				sup := suppression{line: posn.Line, end: posn.Line + 1}
+				// Attach to the statement starting on the directive's
+				// line (trailing comment) or the next (standalone).
+				if e := extents[posn.Line]; e > sup.end {
+					sup.end = e
+				}
+				if e := extents[posn.Line+1]; e > sup.end {
+					sup.end = e
+				}
 				if fields[0] != "all" {
 					sup.analyzers = make(map[string]bool)
 					for _, name := range strings.Split(fields[0], ",") {
@@ -123,11 +145,37 @@ func ParseSuppressions(fset *token.FileSet, files []*ast.File) *Suppressions {
 	return s
 }
 
+// stmtExtents maps each line on which a simple (body-less) statement or
+// value spec begins to the last line of the widest such node. Control
+// statements and declarations with blocks are excluded so a directive
+// above `for` or `func` never blankets the whole body.
+func stmtExtents(fset *token.FileSet, f *ast.File) map[int]int {
+	extents := make(map[int]int)
+	note := func(n ast.Node) {
+		start := fset.Position(n.Pos()).Line
+		end := fset.Position(n.End()).Line
+		if end > extents[start] {
+			extents[start] = end
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.DeferStmt,
+			*ast.GoStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.DeclStmt,
+			*ast.ValueSpec:
+			note(n)
+		}
+		return true
+	})
+	return extents
+}
+
 // Suppressed reports whether a finding by analyzer at posn is covered
-// by a directive on the same line or the line above.
+// by a directive: same line, line above, or anywhere within the
+// statement the directive attaches to.
 func (s *Suppressions) Suppressed(analyzer string, posn token.Position) bool {
 	for _, sup := range s.byFile[posn.Filename] {
-		if sup.line != posn.Line && sup.line != posn.Line-1 {
+		if posn.Line < sup.line || posn.Line > sup.end {
 			continue
 		}
 		if sup.analyzers == nil || sup.analyzers[analyzer] {
@@ -143,6 +191,10 @@ type Unit struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+
+	// Facts carries the propagated facts of the unit's dependencies
+	// plus the unit's own (computed before analysis). May be nil.
+	Facts *FactDB
 
 	// FileExempt, if non-nil, removes individual files from an
 	// analyzer's view (e.g. _test.go files for wallclock). It receives
@@ -175,6 +227,7 @@ func Run(u *Unit, analyzers []*Analyzer) ([]Finding, error) {
 			Files:     files,
 			Pkg:       u.Pkg,
 			TypesInfo: u.TypesInfo,
+			Facts:     u.Facts,
 		}
 		name := a.Name
 		pass.Report = func(d Diagnostic) {

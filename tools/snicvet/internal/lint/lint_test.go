@@ -79,6 +79,114 @@ var b = 2
 	}
 }
 
+// TestSuppressedStatementExtent: a directive attaches to the whole
+// statement below it, so findings inside a multi-line composite
+// literal or wrapped call arguments are covered — but a directive above
+// a statement with a body (for/if) must not blanket the body.
+func TestSuppressedStatementExtent(t *testing.T) {
+	fset, f := parse(t, `package p
+
+func f() []int {
+	//snicvet:ignore hotpath multi-line literal, covered in full
+	xs := []int{
+		1,
+		2,
+	}
+	g( //snicvet:ignore hotpath wrapped args, covered in full
+		1,
+		2,
+	)
+	//snicvet:ignore maporder directive above a loop
+	for range xs {
+		g(1, 2)
+	}
+	return xs
+}
+
+func g(a, b int) {}
+`)
+	s := ParseSuppressions(fset, []*ast.File{f})
+	at := func(line int) token.Position { return token.Position{Filename: "fix.go", Line: line} }
+
+	for line := 5; line <= 8; line++ {
+		if !s.Suppressed("hotpath", at(line)) {
+			t.Errorf("line %d of the composite literal statement should be suppressed", line)
+		}
+	}
+	for line := 9; line <= 12; line++ {
+		if !s.Suppressed("hotpath", at(line)) {
+			t.Errorf("line %d of the wrapped call should be suppressed", line)
+		}
+	}
+	if s.Suppressed("hotpath", at(14)) {
+		t.Error("suppression must end with its statement")
+	}
+	if !s.Suppressed("maporder", at(14)) {
+		t.Error("directive above the for statement covers its first line")
+	}
+	if s.Suppressed("maporder", at(15)) {
+		t.Error("directive above a block statement must not blanket its body")
+	}
+}
+
+// TestFactsRoundTrip: facts survive the vetx wire format, encoding is
+// deterministic, and changing a fact changes the bytes (which is what
+// lets the go build cache invalidate importers).
+func TestFactsRoundTrip(t *testing.T) {
+	p := NewPackageFacts("repro/internal/leaf")
+	p.Funcs["Stamp"] = FuncFact{ReadsWallClock: true, WallClockVia: "time.Now"}
+	p.Funcs["(*T).Grow"] = FuncFact{Allocates: true, AllocatesVia: "append"}
+	p.Funcs["Clean"] = FuncFact{} // empty: must be dropped from the wire form
+
+	enc1, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc2, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc1) != string(enc2) {
+		t.Fatal("encoding is not deterministic")
+	}
+
+	got, err := DecodeFacts(enc1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == nil || got.Path != p.Path {
+		t.Fatalf("decode lost the package path: %+v", got)
+	}
+	if f := got.Funcs["Stamp"]; !f.ReadsWallClock || f.WallClockVia != "time.Now" {
+		t.Fatalf("Stamp fact did not round-trip: %+v", f)
+	}
+	if f := got.Funcs["(*T).Grow"]; !f.Allocates {
+		t.Fatalf("method fact did not round-trip: %+v", f)
+	}
+	if _, ok := got.Funcs["Clean"]; ok {
+		t.Fatal("empty fact entries must not reach the wire format")
+	}
+
+	// Changing a leaf fact must change the encoded bytes.
+	p2 := NewPackageFacts("repro/internal/leaf")
+	p2.Funcs["Stamp"] = FuncFact{ReadsWallClock: true, WallClockVia: "time.Now"}
+	enc3, err := p2.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(enc3) == string(enc1) {
+		t.Fatal("different fact sets encoded to identical bytes")
+	}
+
+	// Legacy empty vetx files and foreign formats are tolerated.
+	if pf, err := DecodeFacts(nil); err != nil || pf != nil {
+		t.Fatalf("empty vetx: got %+v, %v", pf, err)
+	}
+	if pf, err := DecodeFacts([]byte("not a facts file")); err != nil || pf != nil {
+		t.Fatalf("foreign vetx: got %+v, %v", pf, err)
+	}
+}
+
 // TestRunReportsMalformedAndSorts drives Run end to end with a
 // synthetic analyzer: malformed directives surface as findings, and
 // output is ordered by position regardless of report order.

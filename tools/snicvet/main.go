@@ -33,6 +33,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/tools/snicvet/internal/analyzers"
@@ -89,7 +90,10 @@ func main() {
 
 // printVersion emits the tool identity the go command uses as a build
 // cache key. Hashing our own executable makes the key track analyzer
-// changes, so editing snicvet invalidates cached vet results.
+// changes, so editing snicvet invalidates cached vet results. The
+// SNICVET_FACTS environment variable is folded in too: a fact dump run
+// (make lint-facts) must not be satisfied from the silent cached
+// results of a plain lint run, and vice versa.
 func printVersion() {
 	h := sha256.New()
 	if exe, err := os.Executable(); err == nil {
@@ -98,6 +102,7 @@ func printVersion() {
 			f.Close()
 		}
 	}
+	io.WriteString(h, "facts="+os.Getenv("SNICVET_FACTS"))
 	fmt.Printf("snicvet version devel buildID=%x\n", h.Sum(nil)[:16])
 }
 
@@ -120,19 +125,20 @@ func runUnit(cfgPath string) int {
 		log.Fatalf("cannot decode vet config %s: %v", cfgPath, err)
 	}
 
-	// The go command runs the tool over every dependency (for tools
-	// that export facts) and caches on VetxOutput; snicvet has no
-	// facts, so the output file is always empty, but it must exist.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
-			log.Fatal(err)
+	// The go command runs the tool over every dependency and threads
+	// the vetx outputs through the build cache: a unit's vetx is an
+	// input to every importer's vet action, so changing a leaf's facts
+	// re-vets everything above it. Module packages get real fact
+	// payloads; everything else writes an empty file (it must exist).
+	emptyVetx := func() {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0666); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
-	if cfg.VetxOnly {
-		return 0
-	}
-	active := activeAnalyzers(cfg.ImportPath)
-	if len(active) == 0 {
+	if !analyzers.ReproPackage(cfg.ImportPath) {
+		emptyVetx()
 		return 0
 	}
 
@@ -142,16 +148,17 @@ func runUnit(cfgPath string) int {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			if cfg.SucceedOnTypecheckFailure {
+				emptyVetx()
 				return 0
 			}
 			log.Fatal(err)
 		}
 		files = append(files, f)
 	}
-
 	pkg, info, err := typecheck(cfg, fset, files)
 	if err != nil {
 		if cfg.SucceedOnTypecheckFailure {
+			emptyVetx()
 			return 0
 		}
 		log.Fatalf("typechecking %s: %v", cfg.ImportPath, err)
@@ -163,6 +170,27 @@ func runUnit(cfgPath string) int {
 		Pkg:        pkg,
 		TypesInfo:  info,
 		FileExempt: fileExempt,
+		Facts:      readImportedFacts(cfg),
+	}
+	pf := analyzers.ComputeFacts(unit, unit.Facts)
+	if cfg.VetxOutput != "" {
+		payload, err := pf.Encode()
+		if err != nil {
+			log.Fatalf("encoding facts for %s: %v", cfg.ImportPath, err)
+		}
+		if err := os.WriteFile(cfg.VetxOutput, payload, 0666); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if os.Getenv("SNICVET_FACTS") != "" {
+		dumpFacts(pf)
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	active := activeAnalyzers(cfg.ImportPath)
+	if len(active) == 0 {
+		return 0
 	}
 	findings, err := lint.Run(unit, active)
 	if err != nil {
@@ -175,6 +203,67 @@ func runUnit(cfgPath string) int {
 		return 1
 	}
 	return 0
+}
+
+// readImportedFacts loads the fact payloads of this unit's module
+// dependencies from the vetx files the go command supplied. Standard
+// library entries are empty and decode to nil; foreign or stale
+// payloads are tolerated the same way.
+func readImportedFacts(cfg *vetConfig) *lint.FactDB {
+	db := lint.NewFactDB()
+	// Sorted so a decode failure is reported at the same package no
+	// matter how the map iterates (and so the linter passes its own
+	// detflow rule).
+	paths := make([]string, 0, len(cfg.PackageVetx))
+	for path := range cfg.PackageVetx {
+		if analyzers.ReproPackage(path) {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		data, err := os.ReadFile(cfg.PackageVetx[path])
+		if err != nil {
+			continue // missing vetx: treat as fact-free
+		}
+		pf, err := lint.DecodeFacts(data)
+		if err != nil {
+			log.Fatalf("decoding facts of %s: %v", path, err)
+		}
+		db.Add(pf)
+	}
+	return db
+}
+
+// dumpFacts prints the unit's propagated facts to stderr in
+// deterministic order — the payload behind `make lint-facts`.
+func dumpFacts(pf *lint.PackageFacts) {
+	var keys []string
+	for k, f := range pf.Funcs {
+		if !f.Empty() {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(os.Stderr, "facts: %s\n", pf.Path)
+	for _, k := range keys {
+		f := pf.Funcs[k]
+		if f.ReadsWallClock {
+			fmt.Fprintf(os.Stderr, "  %s: wallclock via %s\n", k, f.WallClockVia)
+		}
+		if f.UsesUnseededRand {
+			fmt.Fprintf(os.Stderr, "  %s: seedrand via %s\n", k, f.RandVia)
+		}
+		if f.MapOrderEscapes {
+			fmt.Fprintf(os.Stderr, "  %s: maporder via %s\n", k, f.MapOrderVia)
+		}
+		if f.Allocates {
+			fmt.Fprintf(os.Stderr, "  %s: allocates via %s\n", k, f.AllocatesVia)
+		}
+	}
 }
 
 // typecheck type-checks one compilation unit against the export data

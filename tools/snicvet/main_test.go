@@ -1,9 +1,14 @@
 package main
 
-import "testing"
+import (
+	"io"
+	"os"
+	"testing"
+)
 
 // The driver's package policy: the determinism suite guards the model
-// packages and public facade; drivers and this tool itself are exempt.
+// packages, the public facade, and (self-hosting) the linter's own
+// tree; cmd/ and examples/ drivers are exempt.
 func TestActiveAnalyzers(t *testing.T) {
 	active := []string{
 		"repro/internal/sim",
@@ -12,9 +17,11 @@ func TestActiveAnalyzers(t *testing.T) {
 		"repro/internal/stats_test",   // external test packages follow their package
 		"repro/snic",
 		"repro/snic_test",
+		"repro/tools/snicvet",         // self-hosting: the linter lints itself
+		"repro/tools/snicvet/internal/lint",
 	}
 	for _, p := range active {
-		if got := activeAnalyzers(p); len(got) != 5 {
+		if got := activeAnalyzers(p); len(got) != 7 {
 			t.Errorf("activeAnalyzers(%q) = %d analyzers, want full suite", p, len(got))
 		}
 	}
@@ -23,7 +30,6 @@ func TestActiveAnalyzers(t *testing.T) {
 		"repro/cmd/snicbench",    // drivers print for humans
 		"repro/cmd/snicsim",
 		"repro/examples/fleet",
-		"repro/tools/snicvet",    // the linter may inspect what it forbids
 		"fmt",                    // std dependencies pass through VetxOnly
 		"time",
 	}
@@ -31,6 +37,32 @@ func TestActiveAnalyzers(t *testing.T) {
 		if got := activeAnalyzers(p); got != nil {
 			t.Errorf("activeAnalyzers(%q) = %d analyzers, want none", p, len(got))
 		}
+	}
+}
+
+// The -V=full identity is the go command's cache key for vet results.
+// A fact-dump run must not be served from the cached silence of a
+// plain run, so the SNICVET_FACTS env var is part of the key.
+func TestVersionHashTracksFactsEnv(t *testing.T) {
+	capture := func(env string) string {
+		t.Setenv("SNICVET_FACTS", env)
+		r, w, err := os.Pipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		old := os.Stdout
+		os.Stdout = w
+		printVersion()
+		w.Close()
+		os.Stdout = old
+		out, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(out)
+	}
+	if capture("") == capture("1") {
+		t.Error("SNICVET_FACTS must change the -V=full cache key")
 	}
 }
 

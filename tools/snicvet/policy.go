@@ -8,12 +8,15 @@ import (
 )
 
 // Where the suite applies. The determinism and unit-safety invariants
-// protect the simulation models and the public facade built on them;
-// cmd/, examples/ and tools/ are drivers and may read the wall clock,
+// protect the simulation models and the public facade built on them —
+// and, self-hostingly, the linter's own tree: snicvet's output must be
+// deterministic for the build cache to work, so it lives by its own
+// rules. cmd/ and examples/ are drivers and may read the wall clock,
 // print maps for humans, and take literal flag defaults.
 var checkedPkgPrefixes = []string{
 	"repro/internal/",
 	"repro/snic",
+	"repro/tools/",
 }
 
 // Analyzers exempt in _test.go files. Benchmarks legitimately measure

@@ -1,0 +1,22 @@
+// Middle layer of the fact-propagation fixture: one call deep. Every
+// wrapper inherits its leaf callee's fact, so the violations report
+// here too — and the facts keep climbing to model.
+package helper
+
+import "snicvet.test/factprop/leaf"
+
+func Tag() int64 {
+	return leaf.Stamp() // want "call to leaf.Stamp transitively reads the wall clock"
+}
+
+func Roll() int {
+	return leaf.Draw() // want "call to leaf.Draw transitively draws from math/rand"
+}
+
+func Names(m map[string]int) []string {
+	return leaf.Keys(m) // want "call to leaf.Keys returns map-ordered data"
+}
+
+func Push(xs []int) []int {
+	return leaf.Grow(xs)
+}

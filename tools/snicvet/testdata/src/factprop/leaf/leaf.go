@@ -1,0 +1,33 @@
+// Leaf of the fact-propagation fixture: the actual violation roots.
+// Facts computed here must survive the vetx wire encoding and surface
+// as transitive reports in helper and model.
+package leaf
+
+import (
+	"math/rand" // want "import of math/rand is forbidden"
+	"time"
+)
+
+// Stamp reads the wall clock: the ReadsWallClock root.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}
+
+// Draw uses the global rand stream: the UsesUnseededRand root.
+func Draw() int {
+	return rand.Int()
+}
+
+// Keys collects map keys unsorted: the MapOrderEscapes root.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to out inside map iteration"
+	}
+	return out
+}
+
+// Grow appends: the Allocates root.
+func Grow(xs []int) []int {
+	return append(xs, 1)
+}

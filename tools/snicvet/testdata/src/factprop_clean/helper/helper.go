@@ -1,0 +1,11 @@
+// Middle layer of the suppression-clears-facts fixture: the justified
+// suppression at this propagating call site both silences the report
+// here and clears the ReadsWallClock fact, so model sees nothing.
+package helper
+
+import "snicvet.test/factprop_clean/leaf"
+
+func Tag() int64 {
+	//snicvet:ignore wallclock -- boot stamp taken once before the event loop starts
+	return leaf.Stamp()
+}

@@ -1,0 +1,9 @@
+// Leaf of the suppression-clears-facts fixture: same wall-clock root
+// as factprop's leaf.
+package leaf
+
+import "time"
+
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,10 @@
+// Top of the suppression-clears-facts fixture: byte-identical call
+// shape to factprop's model, but the helper's suppression cleared the
+// fact chain, so no want clauses here — the whole package is clean.
+package model
+
+import "snicvet.test/factprop_clean/helper"
+
+func Sample() int64 {
+	return helper.Tag()
+}

@@ -1,0 +1,99 @@
+// Fixture for the hotpath analyzer: functions annotated
+// //snicvet:hotpath must not allocate. Unannotated functions are free
+// to; suppressions clear individual findings with a recorded reason.
+package hotpath
+
+import (
+	"fmt"
+	"io"
+)
+
+type point struct{ x, y int }
+
+type pool struct{ free []*point }
+
+//snicvet:hotpath
+func badSliceLit(n int) []int {
+	return []int{n} // want "slice literal needs a backing store"
+}
+
+//snicvet:hotpath
+func badMapLit() map[string]int {
+	return map[string]int{} // want "map literal needs a backing store"
+}
+
+//snicvet:hotpath
+func badAddrLit() *point {
+	return &point{1, 2} // want "composite literal escapes to the heap"
+}
+
+//snicvet:hotpath
+func badMake(n int) []int {
+	return make([]int, n) // want "hot path allocates: make"
+}
+
+//snicvet:hotpath
+func badAppend(xs []int, x int) []int {
+	return append(xs, x) // want "hot path allocates: append"
+}
+
+//snicvet:hotpath
+func badClosure(n int) func() int {
+	return func() int { return n } // want "function literal captures"
+}
+
+//snicvet:hotpath
+func badConcat(a, b string) string {
+	return a + b // want "string concatenation"
+}
+
+//snicvet:hotpath
+func badFmt(w io.Writer, n int64) {
+	fmt.Fprintln(w, n) // want "hot path allocates: fmt.Fprintln" "boxed into"
+}
+
+//snicvet:hotpath
+func badGo(f func()) {
+	go f() // want "go statement spawns a goroutine"
+}
+
+//snicvet:hotpath
+func badBoxing(v point) any {
+	var a any
+	a = v // want "boxed into"
+	return a
+}
+
+//snicvet:hotpath
+func goodPointerJuggle(p *pool) *point {
+	if len(p.free) == 0 {
+		return nil
+	}
+	it := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	it.x, it.y = 0, 0
+	return it // ok: pops from a free list, no allocation anywhere
+}
+
+//snicvet:hotpath
+func goodPointerBox(p *point) any {
+	return boxAny(p)
+}
+
+//snicvet:hotpath
+func boxAny(p *point) any {
+	var a any
+	a = p // ok: pointers share the interface word, no boxing
+	return a
+}
+
+//snicvet:hotpath
+func goodSuppressed() int {
+	//snicvet:ignore hotpath -- fixture: demonstrating a justified one-off
+	buf := make([]byte, 0, 64)
+	return cap(buf)
+}
+
+func unannotatedAllocates() []int {
+	return []int{1, 2, 3} // ok: contract applies only under the annotation
+}

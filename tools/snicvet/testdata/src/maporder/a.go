@@ -1,15 +1,12 @@
-// Fixture for the maporder analyzer: map iteration feeding an
-// order-sensitive sink is reported unless the collected slice is
-// sorted afterwards.
+// Fixture for the maporder analyzer: map iteration collecting into a
+// slice used later is reported unless the slice is sorted afterwards.
+// Emission sinks inside map iteration moved to the detflow fixture
+// when that analyzer subsumed maporder's sink list.
 package maporder
 
 import (
 	"fmt"
 	"sort"
-	"strings"
-	"testing"
-
-	"repro/internal/obs"
 )
 
 func badAppend(m map[string]int) []string {
@@ -36,30 +33,6 @@ func goodSortIndirect(m map[int]string) []int {
 	}
 	sort.Sort(sort.IntSlice(ids))
 	return ids
-}
-
-func badPrint(m map[string]int) {
-	for k, v := range m {
-		fmt.Printf("%s=%d\n", k, v) // want "fmt.Printf inside map iteration emits"
-	}
-}
-
-func badWriter(m map[string]int, sb *strings.Builder) {
-	for k := range m {
-		sb.WriteString(k) // want "strings.Builder inside map iteration emits"
-	}
-}
-
-func badTestHelper(t *testing.T, m map[string]bool) {
-	for k := range m {
-		t.Errorf("missing %s", k) // want "testing.Errorf inside map iteration records"
-	}
-}
-
-func badTelemetry(rec *obs.Recorder, m map[string]float64) {
-	for k, v := range m {
-		rec.Count(k, v) // want "obs.Count inside map iteration records"
-	}
 }
 
 func goodLocalSlice(m map[string]int) {
